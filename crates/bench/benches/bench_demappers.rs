@@ -1,0 +1,79 @@
+//! Per-symbol demapping cost: the software view of Table 2's
+//! latency column — exact log-MAP vs max-log vs ANN inference vs the
+//! bit-exact quantised datapaths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::{Demapper, ExactLogMap, MaxLogMap};
+use hybridem_core::config::SystemConfig;
+use hybridem_core::pipeline::HybridPipeline;
+use hybridem_fpga::builder::{build_inference_design, DeployConfig};
+use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_demappers(c: &mut Criterion) {
+    let qam = Constellation::qam_gray(16);
+    let sigma = 0.2f32;
+    let exact = ExactLogMap::new(qam.clone(), sigma);
+    let maxlog = MaxLogMap::new(qam.clone(), sigma);
+    let accel = SoftDemapperAccel::new(SoftDemapperConfig::paper_default(), qam.points(), sigma);
+
+    // A small trained ANN for the inference paths.
+    let mut cfg = SystemConfig::fast_test();
+    cfg.e2e_steps = 300;
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let calib: Vec<C32> = (0..256)
+        .map(|_| C32::new(rng.normal_f32(), rng.normal_f32()))
+        .collect();
+    let hw = build_inference_design(pipe.ann_demapper().model(), &calib, &DeployConfig::default());
+
+    let samples: Vec<C32> = (0..512)
+        .map(|_| C32::new(rng.normal_f32() * 0.7, rng.normal_f32() * 0.7))
+        .collect();
+    let mut out = [0f32; 4];
+
+    let mut g = c.benchmark_group("demap_per_symbol");
+    g.bench_function("exact_log_map", |b| {
+        b.iter(|| {
+            for &y in &samples {
+                exact.llrs(black_box(y), &mut out);
+            }
+        })
+    });
+    g.bench_function("max_log", |b| {
+        b.iter(|| {
+            for &y in &samples {
+                maxlog.llrs(black_box(y), &mut out);
+            }
+        })
+    });
+    g.bench_function("ann_f32", |b| {
+        b.iter(|| {
+            for &y in &samples {
+                pipe.ann_demapper().llrs(black_box(y), &mut out);
+            }
+        })
+    });
+    g.bench_function("ann_fixed_point_sim", |b| {
+        b.iter(|| {
+            for &y in &samples {
+                black_box(hw.process_iq(black_box(y)));
+            }
+        })
+    });
+    g.bench_function("soft_demapper_accel_sim", |b| {
+        b.iter(|| {
+            for &y in &samples {
+                black_box(accel.process(black_box(y)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_demappers);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Centroid-extraction cost at different grid resolutions (the
+//! deployment-time step of the hybrid flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybridem_core::config::SystemConfig;
+use hybridem_core::extraction::{extract, ExtractionConfig};
+use hybridem_core::pipeline::HybridPipeline;
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut cfg = SystemConfig::fast_test();
+    cfg.e2e_steps = 300;
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let constellation = pipe.constellation();
+
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(20);
+    for n in [32usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let ecfg = ExtractionConfig::new(n, 4.0 / 3.0);
+            b.iter(|| black_box(extract(pipe.ann_demapper(), &ecfg, &constellation)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

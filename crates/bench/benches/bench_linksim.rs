@@ -1,0 +1,32 @@
+//! End-to-end Monte-Carlo link throughput (symbols simulated per
+//! second) for the conventional and hybrid receivers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hybridem_comm::channel::{Awgn, Channel};
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::MaxLogMap;
+use hybridem_comm::linksim::{simulate_link, LinkSpec};
+use hybridem_comm::snr::noise_sigma;
+use std::hint::black_box;
+
+fn bench_linksim(c: &mut Criterion) {
+    let qam = Constellation::qam_gray(16);
+    let sigma = noise_sigma(12.0, 1.0) as f32;
+    let channel = Awgn::new(sigma);
+    let demapper = MaxLogMap::new(qam.clone(), sigma);
+    const SYMBOLS: u64 = 100_000;
+
+    let mut g = c.benchmark_group("linksim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SYMBOLS));
+    g.bench_function("qam16_maxlog_100k", |b| {
+        b.iter(|| {
+            let spec = LinkSpec::new(&qam, &channel as &dyn Channel, &demapper, SYMBOLS, 3);
+            black_box(simulate_link(&spec))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linksim);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bit-exact MVAU datapath throughput at different foldings — the
+//! simulation cost behind the DOP ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybridem_fixed::QFormat;
+use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
+use hybridem_mathkit::matrix::Matrix;
+use std::hint::black_box;
+
+fn bench_mvau(c: &mut Criterion) {
+    let fmt = QFormat::signed(8, 6);
+    let weight = Matrix::full(16, 16, 0.25f32);
+    let bias = Matrix::zeros(1, 16);
+    let cfg = MvauConfig::full_parallel(16, 16, fmt, fmt, fmt, false);
+    let mvau = Mvau::from_dense(cfg, &weight, &bias, HwActivation::Relu);
+    let input: Vec<i64> = (0..16).map(|i| (i * 7 % 64) - 32).collect();
+
+    let mut g = c.benchmark_group("mvau");
+    g.bench_function("process_16x16", |b| {
+        b.iter(|| black_box(mvau.process(black_box(&input))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mvau);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Training-step costs: one E2E autoencoder step and one retraining
+//! step (the software counterpart of Table 2's AE-training row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybridem_core::config::SystemConfig;
+use hybridem_core::demapper_ann::NeuralDemapper;
+use hybridem_core::e2e::E2eTrainer;
+use hybridem_core::mapper::NeuralMapper;
+use hybridem_mathkit::rng::Xoshiro256pp;
+
+fn bench_training(c: &mut Criterion) {
+    let mut cfg = SystemConfig::fast_test();
+    cfg.batch_size = 256;
+    let mut g = c.benchmark_group("training");
+    g.bench_function("e2e_step_batch256", |b| {
+        let mut rng = Xoshiro256pp::stream(cfg.seed, 0);
+        let mut mapper = NeuralMapper::new(cfg.num_symbols(), &mut rng);
+        let mut demapper = NeuralDemapper::new(cfg.demapper.build(&mut rng));
+        let mut t = E2eTrainer::new(&cfg);
+        b.iter(|| t.step(&mut mapper, &mut demapper));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

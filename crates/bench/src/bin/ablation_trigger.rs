@@ -1,0 +1,135 @@
+//! **Ablation — retrain-trigger detection.** The paper proposes two
+//! channel-change monitors (§II-C): pilot-BER thresholding and
+//! ECC corrected-flip counting. Measure how many frames each needs to
+//! detect phase offsets of different magnitudes.
+
+use hybridem_bench::{banner, budget, write_json};
+use hybridem_comm::channel::{Channel, ChannelChain};
+use hybridem_comm::demapper::Demapper;
+use hybridem_comm::ecc::{ConvCode, Viterbi};
+use hybridem_core::adapt::{AdaptThresholds, AdaptationController, Recommendation};
+use hybridem_core::config::SystemConfig;
+use hybridem_core::pipeline::HybridPipeline;
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TriggerRow {
+    theta_rad: f32,
+    pilot_frames_to_trigger: Option<usize>,
+    ecc_frames_to_trigger: Option<usize>,
+}
+
+const FRAME_SYMBOLS: usize = 256;
+const MAX_FRAMES: usize = 200;
+
+fn main() {
+    banner(
+        "Ablation — retrain-trigger detection latency (pilot BER vs ECC flips)",
+        "Ney, Hammoud, Wehn (IPDPSW'22), §II-C",
+    );
+    let mut cfg = SystemConfig::paper_default();
+    cfg.e2e_steps = budget(4000) as usize;
+    let es = cfg.es_n0_db();
+
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let _ = pipe.extract_centroids();
+    let constellation = pipe.constellation();
+    let hybrid = pipe.hybrid_demapper().unwrap();
+    let code = ConvCode::new();
+    let viterbi = Viterbi::new();
+
+    let mut rows = Vec::new();
+    for &theta in &[0.0f32, 0.05, 0.1, 0.2, 0.4, std::f32::consts::FRAC_PI_4] {
+        let mut pilot_ctl = AdaptationController::new(AdaptThresholds::default());
+        let mut ecc_ctl = AdaptationController::new(AdaptThresholds::default());
+        let mut channel = ChannelChain::phase_then_awgn(theta, es);
+        let mut rng = Xoshiro256pp::seed_from_u64(777);
+        let mut pilot_hit = None;
+        let mut ecc_hit = None;
+
+        for frame in 0..MAX_FRAMES {
+            // Pilot monitor.
+            let m = constellation.bits_per_symbol();
+            let mut tx_bits = Vec::with_capacity(FRAME_SYMBOLS * m);
+            let mut syms = Vec::with_capacity(FRAME_SYMBOLS);
+            for _ in 0..FRAME_SYMBOLS {
+                let u = (rng.next_u64() >> (64 - m)) as usize;
+                for k in 0..m {
+                    tx_bits.push(((u >> (m - 1 - k)) & 1) as u8);
+                }
+                syms.push(constellation.point(u));
+            }
+            channel.transmit(&mut syms, &mut rng);
+            let mut rx_bits = Vec::with_capacity(FRAME_SYMBOLS * m);
+            let mut bits = [0u8; 16];
+            for &y in &syms {
+                hybrid.hard_decide(y, &mut bits);
+                rx_bits.extend_from_slice(&bits[..m]);
+            }
+            pilot_ctl.observe_pilot_bits(&tx_bits, &rx_bits);
+
+            // ECC monitor: a genuinely coded payload (rate-1/2
+            // convolutional) transmitted through the same channel; the
+            // decoder's corrected-flip count is the quality metric.
+            let mut payload = vec![0u8; FRAME_SYMBOLS];
+            rng.fill_bits(&mut payload);
+            let coded = code.encode(&payload);
+            let mut csyms = Vec::with_capacity(coded.len() / m + 1);
+            for chunk in coded.chunks(m) {
+                let mut word = chunk.to_vec();
+                while word.len() < m {
+                    word.push(0);
+                }
+                csyms.push(constellation.point(hybridem_comm::bits::pack_bits(&word)));
+            }
+            channel.transmit(&mut csyms, &mut rng);
+            let mut llrs = Vec::with_capacity(csyms.len() * m);
+            let mut llr = [0f32; 16];
+            for &y in &csyms {
+                hybrid.llrs(y, &mut llr[..m]);
+                llrs.extend_from_slice(&llr[..m]);
+            }
+            llrs.truncate(coded.len());
+            let outcome = viterbi.decode_soft(&code, &llrs);
+            ecc_ctl.observe_ecc(outcome.corrected, coded.len() as u64);
+
+            if pilot_hit.is_none() && pilot_ctl.recommendation() == Recommendation::Retrain {
+                pilot_hit = Some(frame + 1);
+            }
+            if ecc_hit.is_none() && ecc_ctl.recommendation() == Recommendation::Retrain {
+                ecc_hit = Some(frame + 1);
+            }
+            if pilot_hit.is_some() && ecc_hit.is_some() {
+                break;
+            }
+        }
+        eprintln!(
+            "θ = {theta:.3}: pilot trigger after {pilot_hit:?} frames, ECC after {ecc_hit:?}"
+        );
+        rows.push(TriggerRow {
+            theta_rad: theta,
+            pilot_frames_to_trigger: pilot_hit,
+            ecc_frames_to_trigger: ecc_hit,
+        });
+    }
+
+    println!("\n| phase offset [rad] | pilot frames to trigger | ECC frames to trigger |");
+    println!("|---|---|---|");
+    for r in &rows {
+        let p = r
+            .pilot_frames_to_trigger
+            .map_or("never".to_string(), |v| v.to_string());
+        let e = r
+            .ecc_frames_to_trigger
+            .map_or("never".to_string(), |v| v.to_string());
+        println!("| {:.3} | {} | {} |", r.theta_rad, p, e);
+    }
+
+    let path = write_json("ablation_trigger.json", &rows);
+    println!("\nartefact: {path:?}");
+    println!("\nShape: no trigger on the healthy channel; large offsets detected");
+    println!("within a couple of frames; the ECC monitor needs no pilot");
+    println!("overhead but reacts a little later (corrected flips saturate).");
+}

@@ -1,0 +1,62 @@
+//! **Fig. 2** — "Bit-error-rate (BER) of different demapping
+//! algorithms": BER vs SNR for the conventional soft demapper
+//! (Gray 16-QAM), AE-inference, and the extracted-centroid hybrid.
+//! The AE is trained separately at every SNR, as in the paper.
+
+use hybridem_bench::{banner, budget, write_json};
+use hybridem_comm::channel::Awgn;
+use hybridem_comm::theory::ber_qam16_gray;
+use hybridem_core::config::SystemConfig;
+use hybridem_core::eval::{markdown_table, BerPoint};
+use hybridem_core::pipeline::HybridPipeline;
+
+fn main() {
+    banner(
+        "Fig. 2 — BER of different demapping algorithms vs SNR",
+        "Ney, Hammoud, Wehn (IPDPSW'22), Fig. 2",
+    );
+    let snrs = [0.0f64, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+    let mut all_points: Vec<BerPoint> = Vec::new();
+
+    for &snr in &snrs {
+        let mut cfg = SystemConfig::paper_default().at_snr(snr);
+        cfg.e2e_steps = budget(5000) as usize;
+        // Enough symbols to resolve the high-SNR tail.
+        let symbols = if snr >= 10.0 {
+            budget(4_000_000)
+        } else {
+            budget(1_000_000)
+        };
+
+        eprintln!("training AE at SNR {snr} dB …");
+        let mut pipe = HybridPipeline::new(cfg);
+        let loss = pipe.e2e_train();
+        let report = pipe.extract_centroids();
+        let channel = Awgn::from_es_n0_db(pipe.config().es_n0_db());
+        let points = pipe.evaluate_three(&channel, symbols, 1000 + snr as u64);
+        eprintln!(
+            "  loss {loss:.3}, missing {}, vdis {:.2}% → BER conv {:.3e} | ae {:.3e} | hybrid {:.3e}",
+            report.missing_labels.len(),
+            100.0 * report.voronoi_disagreement,
+            points[0].ber,
+            points[1].ber,
+            points[2].ber
+        );
+        all_points.extend(points);
+    }
+
+    println!("\n{}", markdown_table(&all_points));
+    println!("Closed-form Gray 16-QAM reference:");
+    println!("| SNR (Eb/N0) [dB] | theory BER |");
+    println!("|---|---|");
+    for &snr in &snrs {
+        let es = hybridem_comm::snr::ebn0_to_esn0_db(snr, 4);
+        println!("| {snr} | {:.4e} |", ber_qam16_gray(es));
+    }
+
+    let path = write_json("fig2_ber_curves.json", &all_points);
+    println!("\nartefact: {path:?}");
+    println!("\nExpected shape (paper): the three receivers lie on the same");
+    println!("curve up to ~10 dB; the centroid receiver degrades slightly at");
+    println!("12 dB. Our SNR axis is Eb/N0 (validated in comm::theory).");
+}

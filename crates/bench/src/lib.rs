@@ -1,0 +1,95 @@
+//! # hybridem-bench
+//!
+//! Experiment harness: one binary per paper artefact (Fig. 2, Fig. 3,
+//! Table 1, Table 2) plus ablation sweeps, and criterion benches for
+//! the hot paths. Binaries print Markdown tables to stdout and write
+//! JSON/PGM artefacts under `results/`.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig2_ber_curves` | Fig. 2 — BER vs SNR for the three receivers |
+//! | `fig3_decision_regions` | Fig. 3 — decision regions + centroids before/after retraining |
+//! | `table1_adaptation` | Table 1 — phase-offset adaptation BERs |
+//! | `table2_hardware` | Table 2 — FPGA implementation comparison |
+//! | `ablation_dop` | (ext.) MVAU folding: DSP ↔ latency ↔ power |
+//! | `ablation_quant` | (ext.) bit-width vs BER |
+//! | `ablation_grid` | (ext.) extraction-grid resolution |
+//! | `ablation_trigger` | (ext.) retrain-trigger detection latency |
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment artefacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HYBRIDEM_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Writes a serialisable artefact as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(name);
+    let json = serde_json::to_string_pretty(value).expect("serialise artefact");
+    std::fs::write(&path, json).expect("write artefact");
+    path
+}
+
+/// Writes a text artefact (PGM images, Markdown tables) under `results/`.
+pub fn write_text(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write artefact");
+    path
+}
+
+/// Pretty banner for experiment binaries.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Returns true when the caller asked for a reduced-budget run
+/// (`HYBRIDEM_QUICK=1`) — used by CI and smoke tests.
+pub fn quick_mode() -> bool {
+    std::env::var("HYBRIDEM_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Standard experiment budgets, cut by 8× under [`quick_mode`].
+pub fn budget(full: u64) -> u64 {
+    if quick_mode() {
+        (full / 8).max(1)
+    } else {
+        full
+    }
+}
+
+/// Checks a path exists after writing (sanity for artefact tests).
+pub fn assert_written(path: &Path) {
+    assert!(path.exists(), "artefact {path:?} missing");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artefact_round_trip() {
+        std::env::set_var("HYBRIDEM_RESULTS", "/tmp/hybridem-bench-test");
+        let p = write_json("test.json", &serde_json::json!({"x": 1}));
+        assert_written(&p);
+        let p = write_text("test.txt", "hello");
+        assert_written(&p);
+        let body = std::fs::read_to_string(p).unwrap();
+        assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn budget_full_without_quick_mode() {
+        std::env::remove_var("HYBRIDEM_QUICK");
+        assert_eq!(budget(800), 800);
+    }
+}

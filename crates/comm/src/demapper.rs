@@ -1,0 +1,312 @@
+//! Soft demappers: received sample → per-bit LLRs.
+//!
+//! Convention (workspace-wide): `LLR_k = ln P(b_k=0|y) − ln P(b_k=1|y)`,
+//! so **positive LLR ⇒ bit 0** and the hard decision is `b = (LLR<0)`.
+//!
+//! Two soft algorithms:
+//!
+//! - [`ExactLogMap`] — the optimal bitwise demapper
+//!   `LLR_k = ln Σ_{i∈S⁰_k} e^{−‖y−c_i‖²/2σ²} − ln Σ_{i∈S¹_k} e^{−‖y−c_i‖²/2σ²}`,
+//!   computed with stable log-sum-exp;
+//! - [`MaxLogMap`] — the suboptimal demapper of Robertson et al. 1995
+//!   used by the paper:
+//!   `LLR_k = (min_{i∈S¹_k} ‖y−c_i‖² − min_{i∈S⁰_k} ‖y−c_i‖²) / 2σ²`,
+//!   which replaces the exponential/logarithm pair with two running
+//!   minima — the hardware-friendly form implemented by the FPGA
+//!   soft-demapper accelerator.
+//!
+//! Both operate on any labelled point set ("centroids"): a conventional
+//! constellation, or the centroids extracted from a trained demapper
+//! ANN — that interchangeability is the paper's core idea.
+
+use crate::constellation::Constellation;
+use hybridem_mathkit::complex::C32;
+
+/// A bit-level soft demapper.
+pub trait Demapper: Send + Sync {
+    /// Bits per symbol produced.
+    fn bits_per_symbol(&self) -> usize;
+
+    /// Writes `bits_per_symbol` LLRs for received sample `y`.
+    fn llrs(&self, y: C32, out: &mut [f32]);
+
+    /// Hard decisions derived from LLR signs (negative ⇒ bit 1).
+    fn hard_decide(&self, y: C32, out: &mut [u8]) {
+        let m = self.bits_per_symbol();
+        let mut llr = [0f32; 16];
+        assert!(m <= 16, "symbols wider than 16 bits are unsupported");
+        self.llrs(y, &mut llr[..m]);
+        for (b, &l) in out[..m].iter_mut().zip(&llr[..m]) {
+            *b = u8::from(l < 0.0);
+        }
+    }
+}
+
+/// Exact bitwise log-MAP demapper.
+pub struct ExactLogMap {
+    constellation: Constellation,
+    two_sigma_sqr: f32,
+}
+
+impl ExactLogMap {
+    /// Demapper over `constellation` with per-dimension noise σ.
+    pub fn new(constellation: Constellation, sigma: f32) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        Self {
+            constellation,
+            two_sigma_sqr: 2.0 * sigma * sigma,
+        }
+    }
+
+    /// The labelled point set in use.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+}
+
+impl Demapper for ExactLogMap {
+    fn bits_per_symbol(&self) -> usize {
+        self.constellation.bits_per_symbol()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        let m = self.bits_per_symbol();
+        debug_assert!(out.len() >= m);
+        // Metric per point: −‖y−c‖²/2σ².
+        let pts = self.constellation.points();
+        let mut metrics = [0f64; 256];
+        for (i, &c) in pts.iter().enumerate() {
+            metrics[i] = -(y.dist_sqr(c) as f64) / self.two_sigma_sqr as f64;
+        }
+        for k in 0..m {
+            // Stable two-set log-sum-exp.
+            let (mut max0, mut max1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for i in 0..pts.len() {
+                if self.constellation.bit(i, k) == 0 {
+                    max0 = max0.max(metrics[i]);
+                } else {
+                    max1 = max1.max(metrics[i]);
+                }
+            }
+            let (mut s0, mut s1) = (0f64, 0f64);
+            for i in 0..pts.len() {
+                if self.constellation.bit(i, k) == 0 {
+                    s0 += (metrics[i] - max0).exp();
+                } else {
+                    s1 += (metrics[i] - max1).exp();
+                }
+            }
+            out[k] = ((max0 + s0.ln()) - (max1 + s1.ln())) as f32;
+        }
+    }
+}
+
+/// Suboptimal max-log demapper (Robertson et al. 1995) — the paper's
+/// "conventional soft-demapping algorithm".
+pub struct MaxLogMap {
+    constellation: Constellation,
+    inv_two_sigma_sqr: f32,
+}
+
+impl MaxLogMap {
+    /// Demapper over `constellation` with per-dimension noise σ.
+    pub fn new(constellation: Constellation, sigma: f32) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        Self {
+            constellation,
+            inv_two_sigma_sqr: 1.0 / (2.0 * sigma * sigma),
+        }
+    }
+
+    /// The labelled point set in use.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Replaces the point set, keeping σ (used when new centroids are
+    /// extracted after retraining).
+    pub fn set_constellation(&mut self, constellation: Constellation) {
+        self.constellation = constellation;
+    }
+}
+
+impl Demapper for MaxLogMap {
+    fn bits_per_symbol(&self) -> usize {
+        self.constellation.bits_per_symbol()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        let m = self.bits_per_symbol();
+        debug_assert!(out.len() >= m);
+        // One pass: for every bit position track min distance over the
+        // 0-labelled and 1-labelled subsets.
+        let mut min0 = [f32::INFINITY; 16];
+        let mut min1 = [f32::INFINITY; 16];
+        for (i, &c) in self.constellation.points().iter().enumerate() {
+            let d = y.dist_sqr(c);
+            for k in 0..m {
+                if self.constellation.bit(i, k) == 0 {
+                    if d < min0[k] {
+                        min0[k] = d;
+                    }
+                } else if d < min1[k] {
+                    min1[k] = d;
+                }
+            }
+        }
+        for k in 0..m {
+            // ln P0 − ln P1 ≈ (min over 1-set − min over 0-set)/2σ².
+            out[k] = (min1[k] - min0[k]) * self.inv_two_sigma_sqr;
+        }
+    }
+}
+
+/// Hard nearest-neighbour decision (no soft output): the classical
+/// minimum-distance symbol demapper, exposed through the same trait by
+/// emitting ±1-scaled pseudo-LLRs.
+pub struct HardNearest {
+    constellation: Constellation,
+}
+
+impl HardNearest {
+    /// Hard demapper over `constellation`.
+    pub fn new(constellation: Constellation) -> Self {
+        Self { constellation }
+    }
+}
+
+impl Demapper for HardNearest {
+    fn bits_per_symbol(&self) -> usize {
+        self.constellation.bits_per_symbol()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        let m = self.bits_per_symbol();
+        let u = self.constellation.nearest(y);
+        for k in 0..m {
+            out[k] = if self.constellation.bit(u, k) == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bit_of;
+
+    fn qam16() -> Constellation {
+        Constellation::qam_gray(16)
+    }
+
+    #[test]
+    fn clean_symbol_gives_correct_hard_decisions() {
+        let sigma = 0.1;
+        let exact = ExactLogMap::new(qam16(), sigma);
+        let maxlog = MaxLogMap::new(qam16(), sigma);
+        let hard = HardNearest::new(qam16());
+        let mut bits = [0u8; 4];
+        for u in 0..16 {
+            let y = qam16().point(u);
+            for demapper in [&exact as &dyn Demapper, &maxlog, &hard] {
+                demapper.hard_decide(y, &mut bits);
+                for k in 0..4 {
+                    assert_eq!(bits[k], bit_of(u, 4, k), "symbol {u} bit {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maxlog_matches_exact_at_high_snr() {
+        // As σ→0 the log-sum-exp is dominated by its max term, so the
+        // two demappers converge.
+        let sigma = 0.02f32;
+        let exact = ExactLogMap::new(qam16(), sigma);
+        let maxlog = MaxLogMap::new(qam16(), sigma);
+        let y = C32::new(0.21, -0.43);
+        let mut l1 = [0f32; 4];
+        let mut l2 = [0f32; 4];
+        exact.llrs(y, &mut l1);
+        maxlog.llrs(y, &mut l2);
+        for k in 0..4 {
+            let rel = ((l1[k] - l2[k]) / l1[k].abs().max(1.0)).abs();
+            assert!(rel < 1e-3, "bit {k}: exact {} vs maxlog {}", l1[k], l2[k]);
+        }
+    }
+
+    #[test]
+    fn maxlog_is_optimistic_about_magnitudes() {
+        // |LLR_maxlog| ≥ |LLR_exact| is not universally true per-bit, but
+        // the max-log llr equals exact when each subset has a single
+        // dominant term. At least check same signs at moderate noise.
+        let sigma = 0.3f32;
+        let exact = ExactLogMap::new(qam16(), sigma);
+        let maxlog = MaxLogMap::new(qam16(), sigma);
+        let mut l1 = [0f32; 4];
+        let mut l2 = [0f32; 4];
+        let mut rng = hybridem_mathkit::rng::Xoshiro256pp::seed_from_u64(8);
+        for _ in 0..200 {
+            let y = C32::new(rng.normal_f32(), rng.normal_f32());
+            exact.llrs(y, &mut l1);
+            maxlog.llrs(y, &mut l2);
+            for k in 0..4 {
+                if l1[k].abs() > 0.5 {
+                    assert_eq!(l1[k] > 0.0, l2[k] > 0.0, "sign flip at {y} bit {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llr_scales_inverse_with_noise_power() {
+        let y = C32::new(0.1, 0.2);
+        let a = MaxLogMap::new(qam16(), 0.1);
+        let b = MaxLogMap::new(qam16(), 0.2);
+        let mut la = [0f32; 4];
+        let mut lb = [0f32; 4];
+        a.llrs(y, &mut la);
+        b.llrs(y, &mut lb);
+        for k in 0..4 {
+            assert!((la[k] / lb[k] - 4.0).abs() < 1e-3, "σ² ratio 4 ⇒ LLR ratio 4");
+        }
+    }
+
+    #[test]
+    fn symmetric_point_gives_zero_llr() {
+        // On the I axis midway in Q, the Q-deciding bit is ambiguous.
+        let maxlog = MaxLogMap::new(qam16(), 0.2);
+        let mut l = [0f32; 4];
+        // Centre of the constellation: first bit of each axis undecided.
+        maxlog.llrs(C32::new(0.0, 0.0), &mut l);
+        // The sign bits (axis polarity) must be exactly balanced.
+        assert!(l[0].abs() < 1e-4);
+        assert!(l[2].abs() < 1e-4);
+    }
+
+    #[test]
+    fn hard_nearest_pseudo_llrs_are_unit() {
+        let hard = HardNearest::new(qam16());
+        let mut l = [0f32; 4];
+        hard.llrs(C32::new(0.4, 0.4), &mut l);
+        assert!(l.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn works_on_rotated_centroids() {
+        // The hybrid use-case: demap with a rotated point set.
+        let theta = std::f32::consts::FRAC_PI_4;
+        let rot = qam16().rotated(theta);
+        let maxlog = MaxLogMap::new(rot.clone(), 0.1);
+        let mut bits = [0u8; 4];
+        for u in 0..16 {
+            maxlog.hard_decide(rot.point(u), &mut bits);
+            for k in 0..4 {
+                assert_eq!(bits[k], bit_of(u, 4, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Hamming(7,4) single-error-correcting block code.
+//!
+//! Systematic form: codeword `[d1 d2 d3 d4 p1 p2 p3]` with
+//! `p1 = d1⊕d2⊕d4`, `p2 = d1⊕d3⊕d4`, `p3 = d2⊕d3⊕d4`. The decoder
+//! corrects any single bit error per block and reports how many blocks
+//! needed correction — the retrain-trigger statistic.
+
+use super::DecodeOutcome;
+
+/// The (7,4) Hamming code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hamming74;
+
+impl Hamming74 {
+    /// Code rate.
+    pub const RATE: f64 = 4.0 / 7.0;
+
+    /// New codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Encodes 4 data bits into 7 code bits.
+    pub fn encode_block(&self, d: &[u8; 4]) -> [u8; 7] {
+        let p1 = d[0] ^ d[1] ^ d[3];
+        let p2 = d[0] ^ d[2] ^ d[3];
+        let p3 = d[1] ^ d[2] ^ d[3];
+        [d[0], d[1], d[2], d[3], p1, p2, p3]
+    }
+
+    /// Encodes a bit stream (length must be a multiple of 4).
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len() % 4, 0, "Hamming74 input must be 4-bit aligned");
+        let mut out = Vec::with_capacity(data.len() / 4 * 7);
+        for chunk in data.chunks_exact(4) {
+            let block = [chunk[0], chunk[1], chunk[2], chunk[3]];
+            out.extend_from_slice(&self.encode_block(&block));
+        }
+        out
+    }
+
+    /// Decodes one 7-bit block, correcting up to one error.
+    /// Returns the 4 data bits and whether a correction was applied.
+    pub fn decode_block(&self, r: &[u8; 7]) -> ([u8; 4], bool) {
+        // Syndrome bits: recompute parities over the received word.
+        let s1 = r[0] ^ r[1] ^ r[3] ^ r[4];
+        let s2 = r[0] ^ r[2] ^ r[3] ^ r[5];
+        let s3 = r[1] ^ r[2] ^ r[3] ^ r[6];
+        let syndrome = (s1, s2, s3);
+        // Map syndrome to the erroneous position (systematic layout).
+        let pos: Option<usize> = match syndrome {
+            (0, 0, 0) => None,
+            (1, 1, 0) => Some(0),
+            (1, 0, 1) => Some(1),
+            (0, 1, 1) => Some(2),
+            (1, 1, 1) => Some(3),
+            (1, 0, 0) => Some(4),
+            (0, 1, 0) => Some(5),
+            (0, 0, 1) => Some(6),
+            _ => unreachable!(),
+        };
+        let mut c = *r;
+        if let Some(p) = pos {
+            c[p] ^= 1;
+        }
+        ([c[0], c[1], c[2], c[3]], pos.is_some())
+    }
+
+    /// Decodes a code-bit stream (length must be a multiple of 7),
+    /// reporting the number of corrected bits.
+    pub fn decode(&self, code: &[u8]) -> DecodeOutcome {
+        assert_eq!(code.len() % 7, 0, "Hamming74 code must be 7-bit aligned");
+        let mut bits = Vec::with_capacity(code.len() / 7 * 4);
+        let mut corrected = 0u64;
+        for chunk in code.chunks_exact(7) {
+            let block = [
+                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6],
+            ];
+            let (d, fixed) = self.decode_block(&block);
+            bits.extend_from_slice(&d);
+            corrected += u64::from(fixed);
+        }
+        DecodeOutcome { bits, corrected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_messages() {
+        let code = Hamming74::new();
+        for msg in 0..16u8 {
+            let d = [msg >> 3 & 1, msg >> 2 & 1, msg >> 1 & 1, msg & 1];
+            let c = code.encode_block(&d);
+            let (dec, fixed) = code.decode_block(&c);
+            assert_eq!(dec, d);
+            assert!(!fixed);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_error() {
+        let code = Hamming74::new();
+        for msg in 0..16u8 {
+            let d = [msg >> 3 & 1, msg >> 2 & 1, msg >> 1 & 1, msg & 1];
+            let c = code.encode_block(&d);
+            for e in 0..7 {
+                let mut r = c;
+                r[e] ^= 1;
+                let (dec, fixed) = code.decode_block(&r);
+                assert_eq!(dec, d, "msg {msg:04b} error at {e}");
+                assert!(fixed);
+            }
+        }
+    }
+
+    #[test]
+    fn double_errors_miscorrect_but_are_counted() {
+        // (7,4) Hamming cannot fix 2 errors — but it always *acts*,
+        // which is exactly why corrected-flip counts track BER.
+        let code = Hamming74::new();
+        let d = [1, 0, 1, 1];
+        let c = code.encode_block(&d);
+        let mut r = c;
+        r[0] ^= 1;
+        r[5] ^= 1;
+        let (dec, fixed) = code.decode_block(&r);
+        assert!(fixed);
+        assert_ne!(dec, d, "double error must not silently decode right");
+    }
+
+    #[test]
+    fn stream_decode_counts_corrections() {
+        let code = Hamming74::new();
+        let data: Vec<u8> = vec![1, 0, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1];
+        let mut tx = code.encode(&data);
+        assert_eq!(tx.len(), 21);
+        // Flip one bit in blocks 0 and 2.
+        tx[3] ^= 1;
+        tx[15] ^= 1;
+        let out = code.decode(&tx);
+        assert_eq!(out.bits, data);
+        assert_eq!(out.corrected, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit aligned")]
+    fn encode_alignment_checked() {
+        let _ = Hamming74::new().encode(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn minimum_distance_is_three() {
+        // Enumerate all codewords, verify pairwise Hamming distance ≥ 3.
+        let code = Hamming74::new();
+        let words: Vec<[u8; 7]> = (0..16u8)
+            .map(|m| code.encode_block(&[m >> 3 & 1, m >> 2 & 1, m >> 1 & 1, m & 1]))
+            .collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let d: u32 = words[i]
+                    .iter()
+                    .zip(&words[j])
+                    .map(|(a, b)| u32::from(a != b))
+                    .sum();
+                assert!(d >= 3, "codewords {i},{j} at distance {d}");
+            }
+        }
+    }
+}

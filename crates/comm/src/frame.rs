@@ -1,0 +1,227 @@
+//! Framing: pilot preambles + payload.
+//!
+//! The adaptation loop of the paper periodically sends known pilot
+//! symbols (§II-C). [`FrameFormat`] fixes the split between pilots and
+//! payload; [`build_frame`] packs known pilot bits and payload bits
+//! into one symbol block, and [`FrameRx`] splits a received block back
+//! apart, producing exactly the statistics the adaptation controller
+//! in `hybridem-core` consumes: pilot bit comparisons and payload
+//! LLRs.
+
+use crate::bits::pack_bits;
+use crate::constellation::Constellation;
+use crate::demapper::Demapper;
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// The symbol layout of one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameFormat {
+    /// Pilot symbols at the head of the frame.
+    pub pilot_symbols: usize,
+    /// Payload symbols following the pilots.
+    pub payload_symbols: usize,
+}
+
+impl FrameFormat {
+    /// A typical monitoring frame: 64 pilots + 960 payload symbols
+    /// (6.25 % pilot overhead).
+    pub fn default_monitoring() -> Self {
+        Self {
+            pilot_symbols: 64,
+            payload_symbols: 960,
+        }
+    }
+
+    /// Total symbols per frame.
+    pub fn total_symbols(&self) -> usize {
+        self.pilot_symbols + self.payload_symbols
+    }
+
+    /// Pilot overhead fraction.
+    pub fn overhead(&self) -> f64 {
+        self.pilot_symbols as f64 / self.total_symbols().max(1) as f64
+    }
+}
+
+/// A built frame: modulated symbols plus the ground truth needed at
+/// the receiver (pilot bits are known by construction).
+#[derive(Clone, Debug)]
+pub struct TxFrame {
+    /// Modulated symbols (pilots first).
+    pub symbols: Vec<C32>,
+    /// The known pilot bits (MSB-first per symbol).
+    pub pilot_bits: Vec<u8>,
+    /// The payload bits carried.
+    pub payload_bits: Vec<u8>,
+    format: FrameFormat,
+}
+
+/// Builds one frame: pilots are drawn from the seeded PRNG (both ends
+/// derive them from the shared seed and frame index), payload bits are
+/// caller-supplied and zero-padded to a whole symbol.
+pub fn build_frame(
+    format: FrameFormat,
+    constellation: &Constellation,
+    payload_bits: &[u8],
+    seed: u64,
+    frame_index: u64,
+) -> TxFrame {
+    let m = constellation.bits_per_symbol();
+    assert!(
+        payload_bits.len() <= format.payload_symbols * m,
+        "payload exceeds frame capacity"
+    );
+    let mut rng = Xoshiro256pp::stream(seed, frame_index);
+    let mut symbols = Vec::with_capacity(format.total_symbols());
+    let mut pilot_bits = Vec::with_capacity(format.pilot_symbols * m);
+
+    for _ in 0..format.pilot_symbols {
+        let u = (rng.next_u64() >> (64 - m)) as usize;
+        for k in 0..m {
+            pilot_bits.push(((u >> (m - 1 - k)) & 1) as u8);
+        }
+        symbols.push(constellation.point(u));
+    }
+
+    let mut padded = payload_bits.to_vec();
+    padded.resize(format.payload_symbols * m, 0);
+    for chunk in padded.chunks(m) {
+        symbols.push(constellation.point(pack_bits(chunk)));
+    }
+
+    TxFrame {
+        symbols,
+        pilot_bits,
+        payload_bits: padded,
+        format,
+    }
+}
+
+/// Receiver-side frame decomposition.
+#[derive(Clone, Debug)]
+pub struct FrameRx {
+    /// Hard pilot-bit decisions.
+    pub pilot_decisions: Vec<u8>,
+    /// Payload LLRs (workspace convention: positive ⇒ bit 0).
+    pub payload_llrs: Vec<f32>,
+}
+
+/// Demaps a received frame (same symbol count as the transmitted one).
+pub fn receive_frame(
+    format: FrameFormat,
+    demapper: &dyn Demapper,
+    received: &[C32],
+) -> FrameRx {
+    assert_eq!(received.len(), format.total_symbols(), "frame length");
+    let m = demapper.bits_per_symbol();
+    let mut pilot_decisions = Vec::with_capacity(format.pilot_symbols * m);
+    let mut payload_llrs = Vec::with_capacity(format.payload_symbols * m);
+    let mut bits = [0u8; 16];
+    let mut llr = [0f32; 16];
+    for (i, &y) in received.iter().enumerate() {
+        if i < format.pilot_symbols {
+            demapper.hard_decide(y, &mut bits);
+            pilot_decisions.extend_from_slice(&bits[..m]);
+        } else {
+            demapper.llrs(y, &mut llr[..m]);
+            payload_llrs.extend_from_slice(&llr[..m]);
+        }
+    }
+    FrameRx {
+        pilot_decisions,
+        payload_llrs,
+    }
+}
+
+impl TxFrame {
+    /// The frame's format.
+    pub fn format(&self) -> FrameFormat {
+        self.format
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Awgn, Channel};
+    use crate::demapper::MaxLogMap;
+    use crate::metrics::count_bit_errors;
+
+    fn qam() -> Constellation {
+        Constellation::qam_gray(16)
+    }
+
+    #[test]
+    fn clean_frame_round_trip() {
+        let fmt = FrameFormat {
+            pilot_symbols: 8,
+            payload_symbols: 16,
+        };
+        let payload: Vec<u8> = (0..60).map(|i| (i % 2) as u8).collect();
+        let tx = build_frame(fmt, &qam(), &payload, 42, 0);
+        assert_eq!(tx.symbols.len(), 24);
+        assert_eq!(tx.pilot_bits.len(), 32);
+        assert_eq!(tx.payload_bits.len(), 64, "padded to whole symbols");
+
+        let demapper = MaxLogMap::new(qam(), 0.1);
+        let rx = receive_frame(fmt, &demapper, &tx.symbols);
+        assert_eq!(rx.pilot_decisions, tx.pilot_bits);
+        // Payload LLR signs reproduce the payload bits.
+        for (l, &b) in rx.payload_llrs.iter().zip(&tx.payload_bits) {
+            assert_eq!(u8::from(*l < 0.0), b);
+        }
+    }
+
+    #[test]
+    fn pilots_are_shared_secret() {
+        // Both ends derive the same pilots from (seed, frame index).
+        let fmt = FrameFormat::default_monitoring();
+        let a = build_frame(fmt, &qam(), &[], 7, 3);
+        let b = build_frame(fmt, &qam(), &[], 7, 3);
+        assert_eq!(a.pilot_bits, b.pilot_bits);
+        let c = build_frame(fmt, &qam(), &[], 7, 4);
+        assert_ne!(a.pilot_bits, c.pilot_bits, "frames differ");
+    }
+
+    #[test]
+    fn noisy_frame_pilot_errors_track_channel() {
+        let fmt = FrameFormat {
+            pilot_symbols: 512,
+            payload_symbols: 0,
+        };
+        let tx = build_frame(fmt, &qam(), &[], 5, 0);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let sigma = crate::snr::noise_sigma(8.0, 1.0) as f32;
+        let mut ch = Awgn::new(sigma);
+        let mut received = tx.symbols.clone();
+        ch.transmit(&mut received, &mut rng);
+        let demapper = MaxLogMap::new(qam(), sigma);
+        let rx = receive_frame(fmt, &demapper, &received);
+        let errors = count_bit_errors(&tx.pilot_bits, &rx.pilot_decisions);
+        let ber = errors as f64 / tx.pilot_bits.len() as f64;
+        let theory = crate::theory::ber_qam16_gray(8.0);
+        assert!(
+            ber < theory * 3.0 + 0.05,
+            "pilot BER {ber} inconsistent with channel {theory}"
+        );
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let fmt = FrameFormat::default_monitoring();
+        assert_eq!(fmt.total_symbols(), 1024);
+        assert!((fmt.overhead() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload exceeds")]
+    fn oversized_payload_rejected() {
+        let fmt = FrameFormat {
+            pilot_symbols: 1,
+            payload_symbols: 1,
+        };
+        let _ = build_frame(fmt, &qam(), &[0u8; 100], 0, 0);
+    }
+}

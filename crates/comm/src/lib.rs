@@ -1,0 +1,44 @@
+//! # hybridem-comm
+//!
+//! The communication-system substrate: everything the paper's receiver
+//! sits on top of.
+//!
+//! - [`bits`] — bit/symbol packing, Gray coding, PRBS sources;
+//! - [`constellation`] — QAM/PSK/learned constellations with bit labels;
+//! - [`snr`] — Es/N0, Eb/N0 and noise-σ conversions;
+//! - [`channel`] — composable channel models: AWGN, static phase offset
+//!   (the paper's adaptation case study), CFO, IQ imbalance, block
+//!   Rayleigh fading;
+//! - [`demapper`] — soft demappers producing bit LLRs: exact log-MAP
+//!   and the suboptimal **max-log** demapper of Robertson et al. 1995
+//!   that the paper runs on extracted centroids, plus hard decision;
+//! - [`metrics`] — BER/SER counting, bitwise mutual information, EVM;
+//! - [`ecc`] — outer codes used for retrain triggering: Hamming(7,4)
+//!   and a rate-1/2 convolutional code with hard/soft Viterbi;
+//! - [`theory`] — closed-form AWGN baselines used to validate the
+//!   simulator;
+//! - [`linksim`] — the deterministic, parallel end-to-end BER engine.
+//!
+//! ## LLR sign convention
+//!
+//! Throughout the workspace `LLR = ln P(b=0|y) − ln P(b=1|y)`:
+//! **positive LLR means bit 0**. The paper displays the opposite sign;
+//! only the convention differs, decisions are identical.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod channel;
+pub mod constellation;
+pub mod demapper;
+pub mod ecc;
+pub mod frame;
+pub mod linksim;
+pub mod metrics;
+pub mod snr;
+pub mod theory;
+
+pub use channel::{Awgn, Channel, ChannelChain, PhaseOffset};
+pub use constellation::Constellation;
+pub use demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
+pub use linksim::{simulate_link, LinkResult, LinkSpec};

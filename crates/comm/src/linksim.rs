@@ -1,0 +1,288 @@
+//! End-to-end link simulation: the Monte-Carlo BER engine.
+//!
+//! One simulation transmits random symbols from a constellation through
+//! a channel, demaps with any [`Demapper`], and counts bit and symbol
+//! errors plus bitwise mutual information. Parallel execution reuses
+//! the deterministic task-splitting Monte-Carlo runner, so every
+//! BER point in EXPERIMENTS.md is exactly reproducible from its seed.
+
+use crate::channel::Channel;
+use crate::constellation::Constellation;
+use crate::demapper::Demapper;
+use crate::metrics::BitwiseMiEstimator;
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+use hybridem_mathkit::stats::ErrorCounter;
+use hybridem_parallel::montecarlo::{run, MonteCarloPlan};
+
+/// Everything needed to run one link simulation.
+pub struct LinkSpec<'a> {
+    /// Transmitter codebook (points indexed by bit label).
+    pub constellation: &'a Constellation,
+    /// Channel prototype; each parallel task clones and resets it.
+    pub channel: &'a dyn Channel,
+    /// Receiver demapper.
+    pub demapper: &'a dyn Demapper,
+    /// Total number of symbols to simulate (rounded up to whole blocks).
+    pub symbols: u64,
+    /// Symbols per transmitted block (also the granularity at which
+    /// stateful channels see contiguous streams).
+    pub block_len: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl<'a> LinkSpec<'a> {
+    /// Convenience constructor with the default block length (256).
+    pub fn new(
+        constellation: &'a Constellation,
+        channel: &'a dyn Channel,
+        demapper: &'a dyn Demapper,
+        symbols: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            constellation,
+            channel,
+            demapper,
+            symbols,
+            block_len: 256,
+            seed,
+        }
+    }
+}
+
+/// Outcome of a link simulation.
+#[derive(Clone, Debug)]
+pub struct LinkResult {
+    /// Bit-level error counter (`trials` = simulated bits).
+    pub bit_errors: ErrorCounter,
+    /// Symbol-level error counter (`trials` = simulated symbols).
+    pub symbol_errors: ErrorCounter,
+    /// Bitwise mutual information estimate across all bit positions.
+    pub mi: BitwiseMiEstimator,
+}
+
+impl LinkResult {
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.bit_errors.rate()
+    }
+
+    /// Symbol error rate.
+    pub fn ser(&self) -> f64 {
+        self.symbol_errors.rate()
+    }
+}
+
+struct TaskAcc {
+    channel: Box<dyn Channel>,
+    bits: ErrorCounter,
+    syms: ErrorCounter,
+    mi: BitwiseMiEstimator,
+}
+
+/// Runs the simulation described by `spec`.
+pub fn simulate_link(spec: &LinkSpec<'_>) -> LinkResult {
+    let m = spec.constellation.bits_per_symbol();
+    assert_eq!(
+        m,
+        spec.demapper.bits_per_symbol(),
+        "constellation and demapper disagree on bits/symbol"
+    );
+    assert!(m <= 16, "bits per symbol > 16 unsupported");
+    assert!(spec.block_len > 0, "block length must be positive");
+
+    let blocks = spec.symbols.div_ceil(spec.block_len as u64);
+    let plan = MonteCarloPlan::new(blocks, spec.seed);
+
+    let acc = run(
+        &plan,
+        || {
+            let mut channel = spec.channel.box_clone();
+            channel.reset();
+            TaskAcc {
+                channel,
+                bits: ErrorCounter::new(),
+                syms: ErrorCounter::new(),
+                mi: BitwiseMiEstimator::new(),
+            }
+        },
+        |acc, rng| {
+            simulate_block(spec, acc, rng);
+        },
+        |a, b| {
+            a.bits.merge(&b.bits);
+            a.syms.merge(&b.syms);
+            a.mi.merge(&b.mi);
+        },
+    );
+
+    LinkResult {
+        bit_errors: acc.bits,
+        symbol_errors: acc.syms,
+        mi: acc.mi,
+    }
+}
+
+fn simulate_block(spec: &LinkSpec<'_>, acc: &mut TaskAcc, rng: &mut Xoshiro256pp) {
+    let m = spec.constellation.bits_per_symbol();
+    let n = spec.block_len;
+    let mut tx_symbols = vec![0usize; n];
+    let mut block = vec![C32::zero(); n];
+    for (s, y) in tx_symbols.iter_mut().zip(block.iter_mut()) {
+        *s = (rng.next_u64() >> (64 - m)) as usize;
+        *y = spec.constellation.point(*s);
+    }
+    acc.channel.transmit(&mut block, rng);
+
+    let mut llr = [0f32; 16];
+    for (&u, &y) in tx_symbols.iter().zip(&block) {
+        spec.demapper.llrs(y, &mut llr[..m]);
+        let mut sym_err = false;
+        for k in 0..m {
+            let tx_bit = spec.constellation.bit(u, k);
+            let rx_bit = u8::from(llr[k] < 0.0);
+            let err = tx_bit != rx_bit;
+            sym_err |= err;
+            acc.bits.push(err);
+            acc.mi.push(tx_bit, llr[k]);
+        }
+        acc.syms.push(sym_err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Awgn, ChannelChain};
+    use crate::demapper::{ExactLogMap, HardNearest, MaxLogMap};
+    use crate::snr::noise_sigma;
+    use crate::theory::{ber_qam16_gray, ber_qpsk_gray};
+
+    fn qam16() -> Constellation {
+        Constellation::qam_gray(16)
+    }
+
+    #[test]
+    fn noiseless_link_is_error_free() {
+        let c = qam16();
+        let awgn = Awgn::new(0.0);
+        let demapper = MaxLogMap::new(c.clone(), 0.1);
+        let spec = LinkSpec::new(&c, &awgn, &demapper, 10_000, 1);
+        let r = simulate_link(&spec);
+        assert_eq!(r.bit_errors.errors(), 0);
+        assert_eq!(r.symbol_errors.errors(), 0);
+        assert!(r.bit_errors.trials() >= 40_000);
+        // Clean LLRs carry the full bit of information.
+        assert!(r.mi.mi() > 0.999);
+    }
+
+    #[test]
+    fn qam16_maxlog_matches_theory() {
+        let c = qam16();
+        for &snr in &[4.0f64, 8.0] {
+            let sigma = noise_sigma(snr, 1.0) as f32;
+            let channel = Awgn::new(sigma);
+            let demapper = MaxLogMap::new(c.clone(), sigma);
+            let spec = LinkSpec::new(&c, &channel, &demapper, 400_000, 42);
+            let r = simulate_link(&spec);
+            let theory = ber_qam16_gray(snr);
+            assert!(
+                r.bit_errors.consistent_with(theory, 3.9),
+                "snr {snr}: sim {} vs theory {theory}",
+                r.ber()
+            );
+        }
+    }
+
+    #[test]
+    fn qpsk_exact_demapper_matches_theory() {
+        let c = Constellation::qam_gray(4);
+        let snr = 6.0;
+        let sigma = noise_sigma(snr, 1.0) as f32;
+        let channel = Awgn::new(sigma);
+        let demapper = ExactLogMap::new(c.clone(), sigma);
+        let spec = LinkSpec::new(&c, &channel, &demapper, 400_000, 7);
+        let r = simulate_link(&spec);
+        let theory = ber_qpsk_gray(snr);
+        assert!(
+            r.bit_errors.consistent_with(theory, 3.9),
+            "sim {} vs theory {theory}",
+            r.ber()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = qam16();
+        let sigma = noise_sigma(8.0, 1.0) as f32;
+        let channel = Awgn::new(sigma);
+        let demapper = MaxLogMap::new(c.clone(), sigma);
+        let spec = LinkSpec::new(&c, &channel, &demapper, 50_000, 99);
+        let a = simulate_link(&spec);
+        let b = simulate_link(&spec);
+        assert_eq!(a.bit_errors.errors(), b.bit_errors.errors());
+        assert_eq!(a.symbol_errors.errors(), b.symbol_errors.errors());
+    }
+
+    #[test]
+    fn uncompensated_phase_offset_destroys_the_link() {
+        // The paper's Table 1 "before retraining" condition.
+        let c = qam16();
+        let sigma = noise_sigma(8.0, 1.0) as f32;
+        let channel = ChannelChain::phase_then_awgn(std::f32::consts::FRAC_PI_4, 8.0);
+        let demapper = MaxLogMap::new(c.clone(), sigma);
+        let spec = LinkSpec::new(&c, &channel, &demapper, 100_000, 5);
+        let r = simulate_link(&spec);
+        assert!(r.ber() > 0.2, "π/4 offset must be catastrophic: {}", r.ber());
+        // MI collapses as well.
+        assert!(r.mi.mi() < 0.3);
+    }
+
+    #[test]
+    fn rotated_centroids_compensate_phase_offset() {
+        // The paper's core claim in miniature: demapping against the
+        // rotated point set restores the no-offset BER.
+        let theta = std::f32::consts::FRAC_PI_4;
+        let c = qam16();
+        let snr = 8.0;
+        let sigma = noise_sigma(snr, 1.0) as f32;
+        let channel = ChannelChain::phase_then_awgn(theta, snr);
+        let demapper = MaxLogMap::new(c.rotated(theta), sigma);
+        let spec = LinkSpec::new(&c, &channel, &demapper, 400_000, 11);
+        let r = simulate_link(&spec);
+        let theory = ber_qam16_gray(snr);
+        assert!(
+            r.bit_errors.consistent_with(theory, 3.9),
+            "compensated sim {} vs theory {theory}",
+            r.ber()
+        );
+    }
+
+    #[test]
+    fn hard_demapper_close_to_soft_for_uncoded_ber() {
+        // For uncoded transmission, hard nearest-neighbour decisions on
+        // a Gray QAM equal the max-log bit decisions.
+        let c = qam16();
+        let snr = 6.0;
+        let sigma = noise_sigma(snr, 1.0) as f32;
+        let channel = Awgn::new(sigma);
+        let soft = MaxLogMap::new(c.clone(), sigma);
+        let hard = HardNearest::new(c.clone());
+        let rs = simulate_link(&LinkSpec::new(&c, &channel, &soft, 200_000, 3));
+        let rh = simulate_link(&LinkSpec::new(&c, &channel, &hard, 200_000, 3));
+        assert_eq!(rs.bit_errors.errors(), rh.bit_errors.errors());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on bits/symbol")]
+    fn mismatched_widths_rejected() {
+        let c = qam16();
+        let c4 = Constellation::qam_gray(4);
+        let channel = Awgn::new(0.1);
+        let demapper = MaxLogMap::new(c4, 0.1);
+        let spec = LinkSpec::new(&c, &channel, &demapper, 100, 0);
+        let _ = simulate_link(&spec);
+    }
+}

@@ -1,0 +1,176 @@
+//! Receiver-side quality metrics.
+//!
+//! - [`count_bit_errors`] / [`count_symbol_errors`] — the raw material
+//!   of BER/SER curves;
+//! - [`BitwiseMiEstimator`] — the bitwise mutual information the paper's
+//!   E2E training maximises, estimated from LLRs;
+//! - [`evm_rms`] — error-vector magnitude, a training-free channel
+//!   quality indicator used by the adaptation controller.
+
+use hybridem_mathkit::complex::C32;
+
+/// Counts differing bits between two equal-length bit slices.
+pub fn count_bit_errors(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "bit slice length mismatch");
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u64
+}
+
+/// Counts differing symbols between two equal-length index slices.
+pub fn count_symbol_errors(a: &[usize], b: &[usize]) -> u64 {
+    assert_eq!(a.len(), b.len(), "symbol slice length mismatch");
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u64
+}
+
+/// Streaming estimator of the **bitwise mutual information** (in bits
+/// per channel bit) from LLR observations, assuming equiprobable bits:
+///
+/// `MI ≈ 1 − E[ log₂(1 + e^{−s}) ]`, where `s = (1−2b)·LLR` is the LLR
+/// aligned with the transmitted bit `b` (workspace convention: positive
+/// LLR ⇒ bit 0, so `s > 0` means "pointing the right way").
+///
+/// This is the standard demapper-aware MI estimate; it reaches `m` bits
+/// per symbol summed over bit positions as the channel clears.
+#[derive(Clone, Debug, Default)]
+pub struct BitwiseMiEstimator {
+    acc: f64,
+    n: u64,
+}
+
+impl BitwiseMiEstimator {
+    /// Empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one (transmitted bit, LLR) observation.
+    pub fn push(&mut self, bit: u8, llr: f32) {
+        debug_assert!(bit <= 1);
+        let s = f64::from(if bit == 0 { llr } else { -llr });
+        // log2(1 + e^{−s}), stable for both signs.
+        let l = if s > 40.0 {
+            0.0
+        } else if s < -40.0 {
+            -s / std::f64::consts::LN_2
+        } else {
+            (1.0 + (-s).exp()).ln() / std::f64::consts::LN_2
+        };
+        self.acc += l;
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current MI estimate in bits (0 when empty). May be slightly
+    /// negative for a mismatched demapper — that is information-loss
+    /// signal, not an error.
+    pub fn mi(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            1.0 - self.acc / self.n as f64
+        }
+    }
+
+    /// Merges another estimator (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        self.acc += other.acc;
+        self.n += other.n;
+    }
+}
+
+/// RMS error-vector magnitude between received samples and their
+/// references, normalised by reference RMS power.
+pub fn evm_rms(received: &[C32], reference: &[C32]) -> f64 {
+    assert_eq!(received.len(), reference.len(), "EVM length mismatch");
+    if received.is_empty() {
+        return 0.0;
+    }
+    let mut err = 0.0f64;
+    let mut sig = 0.0f64;
+    for (&y, &x) in received.iter().zip(reference) {
+        err += y.dist_sqr(x) as f64;
+        sig += x.norm_sqr() as f64;
+    }
+    if sig == 0.0 {
+        f64::NAN
+    } else {
+        (err / sig).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_error_counting() {
+        assert_eq!(count_bit_errors(&[0, 1, 1, 0], &[0, 1, 0, 1]), 2);
+        assert_eq!(count_bit_errors(&[], &[]), 0);
+        assert_eq!(count_symbol_errors(&[3, 5, 7], &[3, 4, 7]), 1);
+    }
+
+    #[test]
+    fn mi_perfect_channel_approaches_one() {
+        let mut mi = BitwiseMiEstimator::new();
+        for i in 0..1000 {
+            let bit = (i % 2) as u8;
+            let llr = if bit == 0 { 50.0 } else { -50.0 };
+            mi.push(bit, llr);
+        }
+        assert!((mi.mi() - 1.0).abs() < 1e-6, "mi {}", mi.mi());
+    }
+
+    #[test]
+    fn mi_useless_llrs_give_zero() {
+        let mut mi = BitwiseMiEstimator::new();
+        for i in 0..1000 {
+            mi.push((i % 2) as u8, 0.0);
+        }
+        assert!(mi.mi().abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_anticorrelated_llrs_negative() {
+        let mut mi = BitwiseMiEstimator::new();
+        for i in 0..1000 {
+            let bit = (i % 2) as u8;
+            // Confidently wrong.
+            let llr = if bit == 0 { -10.0 } else { 10.0 };
+            mi.push(bit, llr);
+        }
+        assert!(mi.mi() < -5.0);
+    }
+
+    #[test]
+    fn mi_merge_matches_sequential() {
+        let mut a = BitwiseMiEstimator::new();
+        let mut b = BitwiseMiEstimator::new();
+        let mut whole = BitwiseMiEstimator::new();
+        for i in 0..100 {
+            let bit = (i % 2) as u8;
+            let llr = (i as f32 - 50.0) * 0.1;
+            whole.push(bit, llr);
+            if i < 40 {
+                a.push(bit, llr);
+            } else {
+                b.push(bit, llr);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mi() - whole.mi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evm_known_values() {
+        let x = [C32::new(1.0, 0.0), C32::new(0.0, 1.0)];
+        assert_eq!(evm_rms(&x, &x), 0.0);
+        let y = [C32::new(1.1, 0.0), C32::new(0.0, 0.9)];
+        let e = evm_rms(&y, &x);
+        assert!((e - (0.02f64 / 2.0).sqrt()).abs() < 1e-7);
+        assert!(evm_rms(&[], &[]) == 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests of the communication substrate.
+
+use hybridem_comm::bits::{bit_of, gray, gray_inverse, hamming_distance, pack_bits, unpack_bits};
+use hybridem_comm::channel::{Awgn, Channel, Cfo, ChannelChain, IqImbalance, PhaseOffset};
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
+use hybridem_comm::ecc::{ConvCode, Hamming74, Viterbi};
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pack_unpack_inverse(idx in 0usize..65536, m in 1usize..16) {
+        let idx = idx & ((1 << m) - 1);
+        let mut bits = vec![0u8; m];
+        unpack_bits(idx, m, &mut bits);
+        prop_assert_eq!(pack_bits(&bits), idx);
+        for (k, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bit_of(idx, m, k), b);
+        }
+    }
+
+    #[test]
+    fn gray_bijective_with_unit_steps(n in 0usize..100_000) {
+        prop_assert_eq!(gray_inverse(gray(n)), n);
+        prop_assert_eq!(hamming_distance(gray(n), gray(n + 1)), 1);
+    }
+
+    #[test]
+    fn qam_rotation_commutes_with_nearest(theta in -3.2f32..3.2, u in 0usize..16) {
+        // Rotating both the constellation and the query point preserves
+        // the decision.
+        let qam = Constellation::qam_gray(16);
+        let rot = qam.rotated(theta);
+        let y = qam.point(u).scale(0.9);
+        prop_assert_eq!(qam.nearest(y), rot.nearest(y.rotate(theta)));
+    }
+
+    #[test]
+    fn maxlog_hard_decisions_equal_nearest_symbol(
+        re in -1.6f32..1.6, im in -1.6f32..1.6, sigma in 0.05f32..0.5
+    ) {
+        // The max-log bit decisions are exactly the bits of the nearest
+        // point (the global min dominates both per-bit minima).
+        let qam = Constellation::qam_gray(16);
+        let demapper = MaxLogMap::new(qam.clone(), sigma);
+        let hard = HardNearest::new(qam.clone());
+        let y = C32::new(re, im);
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        demapper.hard_decide(y, &mut a);
+        hard.hard_decide(y, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_and_maxlog_agree_confidently(
+        re in -1.6f32..1.6, im in -1.6f32..1.6
+    ) {
+        // Wherever the exact demapper is confident (|LLR| > 1), the
+        // max-log sign agrees.
+        let sigma = 0.25f32;
+        let qam = Constellation::qam_gray(16);
+        let exact = ExactLogMap::new(qam.clone(), sigma);
+        let ml = MaxLogMap::new(qam, sigma);
+        let y = C32::new(re, im);
+        let mut le = [0f32; 4];
+        let mut lm = [0f32; 4];
+        exact.llrs(y, &mut le);
+        ml.llrs(y, &mut lm);
+        for k in 0..4 {
+            if le[k].abs() > 1.0 {
+                prop_assert_eq!(le[k] > 0.0, lm[k] > 0.0, "bit {}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn llr_antisymmetric_under_point_reflection(re in -1.5f32..1.5, im in -1.5f32..1.5) {
+        // Gray square QAM is symmetric under (I,Q) → (−I,−Q) with the
+        // sign bits of both axes flipped: the axis-polarity LLRs negate,
+        // the amplitude LLRs are unchanged.
+        let sigma = 0.2f32;
+        let qam = Constellation::qam_gray(16);
+        let d = MaxLogMap::new(qam, sigma);
+        let mut l1 = [0f32; 4];
+        let mut l2 = [0f32; 4];
+        d.llrs(C32::new(re, im), &mut l1);
+        d.llrs(C32::new(-re, -im), &mut l2);
+        prop_assert!((l1[0] + l2[0]).abs() < 1e-3, "I-sign bit antisymmetric");
+        prop_assert!((l1[2] + l2[2]).abs() < 1e-3, "Q-sign bit antisymmetric");
+        prop_assert!((l1[1] - l2[1]).abs() < 1e-3, "I-amplitude bit symmetric");
+        prop_assert!((l1[3] - l2[3]).abs() < 1e-3, "Q-amplitude bit symmetric");
+    }
+
+    #[test]
+    fn deterministic_channels_preserve_energy_statistics(
+        theta in -3.0f32..3.0, seed in any::<u64>()
+    ) {
+        // Phase rotation is an isometry on every sample.
+        let mut ch = PhaseOffset::new(theta);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut block = vec![C32::new(0.7, -0.3); 32];
+        ch.transmit(&mut block, &mut rng);
+        for y in &block {
+            prop_assert!((y.abs() - C32::new(0.7, -0.3).abs()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn channel_chain_equals_manual_composition(theta in -1.0f32..1.0, seed in any::<u64>()) {
+        let mut chain = ChannelChain::phase_then_awgn(theta, 10.0);
+        let mut manual_rot = PhaseOffset::new(theta);
+        let mut manual_awgn = Awgn::from_es_n0_db(10.0);
+        let mut a = vec![C32::new(1.0, 0.25); 16];
+        let mut b = a.clone();
+        let mut rng1 = Xoshiro256pp::seed_from_u64(seed);
+        let mut rng2 = Xoshiro256pp::seed_from_u64(seed);
+        chain.transmit(&mut a, &mut rng1);
+        manual_rot.transmit(&mut b, &mut rng2);
+        manual_awgn.transmit(&mut b, &mut rng2);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.re - y.re).abs() < 1e-6 && (x.im - y.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cfo_reset_restores_initial_state(delta in -0.5f32..0.5, n in 1usize..64, seed in any::<u64>()) {
+        let mut ch = Cfo::new(delta);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut first = vec![C32::new(1.0, 0.0); n];
+        ch.transmit(&mut first, &mut rng);
+        ch.reset();
+        let mut second = vec![C32::new(1.0, 0.0); n];
+        ch.transmit(&mut second, &mut rng);
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iq_imbalance_is_linear_over_reals(eps in -0.2f32..0.2, phi in -0.3f32..0.3,
+                                         k in -2.0f32..2.0) {
+        // y(k·x) = k·y(x) for real scaling (the map is R-linear).
+        let mut ch = IqImbalance::new(eps, phi);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let x = C32::new(0.6, -0.8);
+        let mut a = vec![x];
+        let mut b = vec![x.scale(k)];
+        ch.transmit(&mut a, &mut rng);
+        ch.transmit(&mut b, &mut rng);
+        prop_assert!((b[0].re - k * a[0].re).abs() < 1e-4);
+        prop_assert!((b[0].im - k * a[0].im).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error(msg in 0u8..16, pos in 0usize..7) {
+        let code = Hamming74::new();
+        let d = [msg >> 3 & 1, msg >> 2 & 1, msg >> 1 & 1, msg & 1];
+        let mut c = code.encode_block(&d);
+        c[pos] ^= 1;
+        let (dec, fixed) = code.decode_block(&c);
+        prop_assert_eq!(dec, d);
+        prop_assert!(fixed);
+    }
+
+    #[test]
+    fn viterbi_decodes_clean_streams(bits in proptest::collection::vec(0u8..2, 1..128)) {
+        let code = ConvCode::new();
+        let vit = Viterbi::new();
+        let tx = code.encode(&bits);
+        let out = vit.decode_hard(&code, &tx);
+        prop_assert_eq!(out.bits, bits);
+        prop_assert_eq!(out.corrected, 0);
+    }
+
+    #[test]
+    fn viterbi_corrected_count_bounded_by_flips(
+        bits in proptest::collection::vec(0u8..2, 16..64),
+        flips in proptest::collection::vec(0usize..128, 0..4),
+    ) {
+        let code = ConvCode::new();
+        let vit = Viterbi::new();
+        let clean = code.encode(&bits);
+        let mut rx = clean.clone();
+        let mut actual_flips = std::collections::BTreeSet::new();
+        for &f in &flips {
+            let pos = f % rx.len();
+            // Count each position once (two flips cancel).
+            if !actual_flips.insert(pos) {
+                actual_flips.remove(&pos);
+            }
+            rx[pos] ^= 1;
+        }
+        let out = vit.decode_hard(&code, &rx);
+        if out.bits == bits {
+            // Correct decode: the survivor equals the clean codeword, so
+            // the corrected count equals the number of flipped positions.
+            prop_assert_eq!(out.corrected, actual_flips.len() as u64);
+        }
+    }
+}

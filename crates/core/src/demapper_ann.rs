@@ -1,0 +1,138 @@
+//! The neural demapper and its receiver-facing adapters.
+//!
+//! The demapper MLP is trained on logits (fused BCE); at the receiver
+//! its outputs convert directly to LLRs. With `p_k = σ(z_k) =
+//! P(b_k = 1 | y)`, the workspace LLR convention
+//! (`LLR = ln P(b=0) − ln P(b=1)`) gives simply `LLR_k = −z_k` — the
+//! sigmoid never needs to be evaluated for demapping.
+
+use hybridem_comm::demapper::Demapper;
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_nn::Sequential;
+
+/// A trained demapper network with receiver adapters.
+pub struct NeuralDemapper {
+    model: Sequential,
+}
+
+impl NeuralDemapper {
+    /// Wraps a logit-output model (`2 → … → m`).
+    pub fn new(model: Sequential) -> Self {
+        assert_eq!(model.input_dim(), 2, "demapper input must be I/Q");
+        Self { model }
+    }
+
+    /// The underlying model (e.g. for snapshotting or FPGA export).
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Mutable access (training).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.model.output_dim()
+    }
+
+    /// Logits for a batch of received samples (`batch × 2` I/Q rows).
+    pub fn logits(&self, samples: &Matrix<f32>) -> Matrix<f32> {
+        self.model.infer(samples)
+    }
+
+    /// Bit probabilities `P(b_k = 1 | y)` for a batch.
+    pub fn probabilities(&self, samples: &Matrix<f32>) -> Matrix<f32> {
+        self.logits(samples).map(hybridem_mathkit::special::sigmoid_f32)
+    }
+
+    /// Hard symbol decision for one sample: the label formed by the
+    /// per-bit decisions (MSB first) — the sampling primitive of the
+    /// decision-region extraction.
+    pub fn decide_symbol(&self, y: C32) -> usize {
+        let z = self.logits(&Matrix::from_vec(1, 2, vec![y.re, y.im]));
+        let m = self.bits_per_symbol();
+        let mut label = 0usize;
+        for k in 0..m {
+            label = (label << 1) | usize::from(z[(0, k)] > 0.0);
+        }
+        label
+    }
+}
+
+impl Demapper for NeuralDemapper {
+    fn bits_per_symbol(&self) -> usize {
+        self.model.output_dim()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        let z = self.logits(&Matrix::from_vec(1, 2, vec![y.re, y.im]));
+        let m = self.bits_per_symbol();
+        for k in 0..m {
+            out[k] = -z[(0, k)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_mathkit::rng::Xoshiro256pp;
+    use hybridem_nn::model::MlpSpec;
+
+    fn demapper(seed: u64) -> NeuralDemapper {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        NeuralDemapper::new(MlpSpec::paper_demapper_logits().build(&mut rng))
+    }
+
+    #[test]
+    fn llr_sign_matches_probability() {
+        let d = demapper(1);
+        let y = C32::new(0.3, -0.8);
+        let mut llr = [0f32; 4];
+        d.llrs(y, &mut llr);
+        let p = d.probabilities(&Matrix::from_vec(1, 2, vec![y.re, y.im]));
+        for k in 0..4 {
+            // p > 0.5 ⇔ bit 1 more likely ⇔ LLR < 0.
+            assert_eq!(p[(0, k)] > 0.5, llr[k] < 0.0, "bit {k}");
+        }
+    }
+
+    #[test]
+    fn decide_symbol_consistent_with_llrs() {
+        let d = demapper(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut llr = [0f32; 4];
+        for _ in 0..100 {
+            let y = C32::new(rng.normal_f32(), rng.normal_f32());
+            let label = d.decide_symbol(y);
+            d.llrs(y, &mut llr);
+            for k in 0..4 {
+                let bit = (label >> (3 - k)) & 1;
+                assert_eq!(bit == 1, llr[k] < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_and_single_paths_agree() {
+        let d = demapper(4);
+        let batch = Matrix::from_rows(&[&[0.1f32, 0.2], &[-0.5, 0.9]]);
+        let zs = d.logits(&batch);
+        let mut llr = [0f32; 4];
+        d.llrs(C32::new(0.1, 0.2), &mut llr);
+        for k in 0..4 {
+            assert!((llr[k] + zs[(0, k)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let d = demapper(5);
+        let batch = Matrix::from_rows(&[&[3.0f32, -3.0]]);
+        let p = d.probabilities(&batch);
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

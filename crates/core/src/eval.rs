@@ -1,0 +1,119 @@
+//! Evaluation harness: the BER comparisons of Fig. 2 and Table 1.
+//!
+//! Three receivers are compared throughout the paper:
+//!
+//! 1. **conventional** — Gray 16-QAM transmitter + max-log demapper
+//!    with perfect knowledge of the (unrotated) constellation;
+//! 2. **AE-inference** — the learned constellation, demapped by the
+//!    trained ANN itself;
+//! 3. **hybrid (centroid extraction)** — the learned constellation,
+//!    demapped by the conventional max-log algorithm running on the
+//!    centroids extracted from the trained ANN.
+
+use hybridem_comm::channel::Channel;
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::Demapper;
+use hybridem_comm::linksim::{simulate_link, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// One measured operating point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BerPoint {
+    /// Receiver label.
+    pub receiver: String,
+    /// SNR in dB (Eb/N0, the paper's axis).
+    pub snr_db: f64,
+    /// Bit error rate.
+    pub ber: f64,
+    /// 95 % Wilson interval of the BER.
+    pub ber_ci: (f64, f64),
+    /// Symbol error rate.
+    pub ser: f64,
+    /// Bitwise mutual information (bits per bit).
+    pub mi: f64,
+    /// Simulated bits.
+    pub bits: u64,
+    /// Observed bit errors.
+    pub bit_errors: u64,
+}
+
+/// Measures one receiver on one channel.
+pub fn measure(
+    receiver: &str,
+    snr_db: f64,
+    constellation: &Constellation,
+    channel: &dyn Channel,
+    demapper: &dyn Demapper,
+    symbols: u64,
+    seed: u64,
+) -> BerPoint {
+    let spec = LinkSpec::new(constellation, channel, demapper, symbols, seed);
+    let r = simulate_link(&spec);
+    BerPoint {
+        receiver: receiver.to_string(),
+        snr_db,
+        ber: r.ber(),
+        ber_ci: r.bit_errors.wilson_interval(1.96),
+        ser: r.ser(),
+        mi: r.mi.mi(),
+        bits: r.bit_errors.trials(),
+        bit_errors: r.bit_errors.errors(),
+    }
+}
+
+/// Renders points as a Markdown table (EXPERIMENTS.md format).
+pub fn markdown_table(points: &[BerPoint]) -> String {
+    let mut s = String::from("| Receiver | SNR [dB] | BER | 95% CI | SER | bitwise MI |\n|---|---|---|---|---|---|\n");
+    for p in points {
+        s.push_str(&format!(
+            "| {} | {} | {:.4e} | [{:.2e}, {:.2e}] | {:.4e} | {:.3} |\n",
+            p.receiver, p.snr_db, p.ber, p.ber_ci.0, p.ber_ci.1, p.ser, p.mi
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_comm::channel::Awgn;
+    use hybridem_comm::demapper::MaxLogMap;
+    use hybridem_comm::snr::{ebn0_to_esn0_db, noise_sigma};
+    use hybridem_comm::theory::ber_qam16_gray;
+
+    #[test]
+    fn measure_matches_theory_for_conventional() {
+        let snr_db = 4.0; // Eb/N0
+        let es_n0 = ebn0_to_esn0_db(snr_db, 4);
+        let sigma = noise_sigma(es_n0, 1.0) as f32;
+        let qam = Constellation::qam_gray(16);
+        let channel = Awgn::new(sigma);
+        let demapper = MaxLogMap::new(qam.clone(), sigma);
+        let p = measure("conventional", snr_db, &qam, &channel, &demapper, 200_000, 3);
+        let theory = ber_qam16_gray(es_n0);
+        assert!(
+            p.ber_ci.0 * 0.8 <= theory && theory <= p.ber_ci.1 * 1.2,
+            "theory {theory} vs CI {:?}",
+            p.ber_ci
+        );
+        assert!(p.mi > 0.5 && p.mi <= 1.0);
+        assert_eq!(p.bits, p.bit_errors + (p.bits - p.bit_errors));
+    }
+
+    #[test]
+    fn markdown_renders_rows() {
+        let p = BerPoint {
+            receiver: "x".into(),
+            snr_db: 8.0,
+            ber: 1e-2,
+            ber_ci: (0.9e-2, 1.1e-2),
+            ser: 3e-2,
+            mi: 0.93,
+            bits: 1000,
+            bit_errors: 10,
+        };
+        let md = markdown_table(&[p]);
+        assert!(md.contains("| x | 8 |"));
+        assert_eq!(md.lines().count(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! The full hybrid flow (the paper's Fig. 1).
+//!
+//! ```text
+//! E2E Training ──▶ (deploy) ──▶ Inference ◀──────────┐
+//!                                   │ channel drifted │
+//!                                   ▼                 │
+//!                               Retraining ──▶ re-extract centroids
+//! ```
+//!
+//! [`HybridPipeline`] owns the mapper, the demapper ANN, the extracted
+//! centroids and the conventional demapper built on them, and exposes
+//! each phase as a method. Examples and the experiment binaries are
+//! thin wrappers around this type.
+
+use crate::config::SystemConfig;
+use crate::demapper_ann::NeuralDemapper;
+use crate::e2e::E2eTrainer;
+use crate::eval::{measure, BerPoint};
+use crate::extraction::{extract, ExtractionConfig, ExtractionReport};
+use crate::hybrid::HybridDemapper;
+use crate::mapper::NeuralMapper;
+use crate::retrain::{RetrainReport, Retrainer};
+use hybridem_comm::channel::Channel;
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::MaxLogMap;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use serde::{Deserialize, Serialize};
+
+/// Which phase of Fig. 1 the system is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Joint mapper+demapper training over the abstract channel.
+    E2eTraining,
+    /// Centroid-based inference.
+    Inference,
+    /// Demapper-only adaptation to the live channel.
+    Retraining,
+}
+
+/// The complete hybrid system.
+pub struct HybridPipeline {
+    cfg: SystemConfig,
+    mapper: NeuralMapper,
+    demapper: NeuralDemapper,
+    phase: Phase,
+    extraction: Option<ExtractionReport>,
+    hybrid: Option<HybridDemapper>,
+}
+
+impl HybridPipeline {
+    /// Fresh, untrained system.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let mut rng = Xoshiro256pp::stream(cfg.seed, 0);
+        let mapper = NeuralMapper::new(cfg.num_symbols(), &mut rng);
+        let demapper = NeuralDemapper::new(cfg.demapper.build(&mut rng));
+        Self {
+            cfg,
+            mapper,
+            demapper,
+            phase: Phase::E2eTraining,
+            extraction: None,
+            hybrid: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The learned (frozen after E2E) constellation.
+    pub fn constellation(&self) -> Constellation {
+        self.mapper.constellation()
+    }
+
+    /// The demapper ANN.
+    pub fn ann_demapper(&self) -> &NeuralDemapper {
+        &self.demapper
+    }
+
+    /// The hybrid (centroid max-log) demapper; available after
+    /// [`HybridPipeline::extract_centroids`].
+    pub fn hybrid_demapper(&self) -> Option<&HybridDemapper> {
+        self.hybrid.as_ref()
+    }
+
+    /// The most recent extraction report.
+    pub fn extraction_report(&self) -> Option<&ExtractionReport> {
+        self.extraction.as_ref()
+    }
+
+    /// Phase 1: end-to-end training over the abstract AWGN channel.
+    /// Returns the smoothed final loss.
+    pub fn e2e_train(&mut self) -> f32 {
+        let mut trainer = E2eTrainer::new(&self.cfg);
+        let _ = trainer.train(&mut self.mapper, &mut self.demapper);
+        self.phase = Phase::Inference;
+        trainer.tail_loss(50)
+    }
+
+    /// Phase 3 entry: sample decision regions, extract centroids, and
+    /// build the hybrid demapper. Returns the extraction report.
+    pub fn extract_centroids(&mut self) -> ExtractionReport {
+        let ecfg = ExtractionConfig::new(self.cfg.grid_n, self.cfg.window_scale);
+        let fallback = self.constellation();
+        let report = extract(&self.demapper, &ecfg, &fallback);
+        self.hybrid = Some(HybridDemapper::from_extraction(&report, self.cfg.sigma()));
+        self.extraction = Some(report.clone());
+        self.phase = Phase::Inference;
+        report
+    }
+
+    /// Phase 2: retrain the demapper against a live channel (mapper
+    /// frozen), then re-extract centroids.
+    pub fn retrain(&mut self, channel: &mut dyn Channel) -> RetrainReport {
+        self.phase = Phase::Retraining;
+        let constellation = self.constellation();
+        let mut rt = Retrainer::new(&self.cfg);
+        let report = rt.run(&constellation, channel, &mut self.demapper);
+        let _ = self.extract_centroids();
+        report
+    }
+
+    /// Measures the three receivers of the paper on a given channel:
+    /// conventional Gray-QAM, AE-inference, and the hybrid centroid
+    /// demapper. `symbols` per receiver.
+    pub fn evaluate_three(
+        &self,
+        channel: &dyn Channel,
+        symbols: u64,
+        seed: u64,
+    ) -> Vec<BerPoint> {
+        let sigma = self.cfg.sigma();
+        let snr = self.cfg.snr_db;
+        let qam = Constellation::qam_gray(self.cfg.num_symbols());
+        let conventional = MaxLogMap::new(qam.clone(), sigma);
+        let learned = self.constellation();
+
+        let mut out = Vec::with_capacity(3);
+        out.push(measure(
+            "conventional",
+            snr,
+            &qam,
+            channel,
+            &conventional,
+            symbols,
+            seed,
+        ));
+        out.push(measure(
+            "AE-inference",
+            snr,
+            &learned,
+            channel,
+            &self.demapper,
+            symbols,
+            seed.wrapping_add(1),
+        ));
+        if let Some(hybrid) = &self.hybrid {
+            out.push(measure(
+                "hybrid-centroids",
+                snr,
+                &learned,
+                channel,
+                hybrid,
+                symbols,
+                seed.wrapping_add(2),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_comm::channel::{Awgn, ChannelChain};
+
+    fn fast_pipeline() -> HybridPipeline {
+        let mut cfg = SystemConfig::fast_test();
+        // Enough budget that the AE reaches its asymptote; still ~2 s
+        // in release mode.
+        cfg.e2e_steps = 2500;
+        cfg.batch_size = 256;
+        cfg.retrain_steps = 600;
+        cfg.grid_n = 96;
+        cfg.snr_db = 8.0;
+        HybridPipeline::new(cfg)
+    }
+
+    #[test]
+    fn full_flow_ae_close_to_conventional() {
+        let mut pipe = fast_pipeline();
+        assert_eq!(pipe.phase(), Phase::E2eTraining);
+        let loss = pipe.e2e_train();
+        assert!(loss < 0.2, "E2E loss {loss}");
+        let report = pipe.extract_centroids();
+        assert_eq!(report.centroids.len(), 16);
+        assert!(
+            report.missing_labels.len() <= 2,
+            "most regions must exist: missing {:?}",
+            report.missing_labels
+        );
+
+        let channel = Awgn::from_es_n0_db(pipe.config().es_n0_db());
+        let points = pipe.evaluate_three(&channel, 150_000, 9);
+        assert_eq!(points.len(), 3);
+        let conventional = points[0].ber;
+        let ae = points[1].ber;
+        let hybrid = points[2].ber;
+        // Paper Fig. 2: all three on the same level (reduced training
+        // budget here, so allow some envelope).
+        assert!(
+            ae < conventional * 2.0 + 1e-3,
+            "AE {ae} vs conventional {conventional}"
+        );
+        assert!(
+            hybrid < conventional * 2.0 + 1e-3,
+            "hybrid {hybrid} vs conventional {conventional}"
+        );
+        // And the hybrid must track the AE it was extracted from.
+        assert!(
+            hybrid < ae * 1.6 + 1e-3,
+            "hybrid {hybrid} must track ae {ae}"
+        );
+    }
+
+    #[test]
+    fn retrain_flow_recovers_rotation() {
+        let mut pipe = fast_pipeline();
+        let _ = pipe.e2e_train();
+        let _ = pipe.extract_centroids();
+        let theta = std::f32::consts::FRAC_PI_4;
+        let es = pipe.config().es_n0_db();
+
+        // Before retraining: rotated channel breaks both receivers.
+        let rotated = ChannelChain::phase_then_awgn(theta, es);
+        let before = pipe.evaluate_three(&rotated, 60_000, 21);
+        let ae_before = before[1].ber;
+        let hybrid_before = before[2].ber;
+        assert!(ae_before > 0.15, "rotation must hurt: {ae_before}");
+        assert!(hybrid_before > 0.15);
+
+        // Retrain on the rotated channel, then re-evaluate.
+        let mut live = ChannelChain::phase_then_awgn(theta, es);
+        let report = pipe.retrain(&mut live);
+        assert!(report.final_loss < report.initial_loss);
+        let after = pipe.evaluate_three(&rotated, 60_000, 22);
+        let ae_after = after[1].ber;
+        let hybrid_after = after[2].ber;
+        assert!(
+            ae_after < ae_before * 0.3,
+            "AE must recover: {ae_before} → {ae_after}"
+        );
+        assert!(
+            hybrid_after < hybrid_before * 0.3,
+            "hybrid must recover: {hybrid_before} → {hybrid_after}"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Decision-region and constellation rendering (the paper's Fig. 3).
+//!
+//! Terminal-friendly ASCII art plus portable graymap (PGM) export so
+//! experiment binaries can both print the regions and write image
+//! artefacts without any graphics dependency.
+
+use crate::extraction::ExtractionReport;
+use hybridem_geom::grid::LabelGrid;
+use hybridem_mathkit::complex::C32;
+use std::fmt::Write as _;
+
+/// Glyph for a label (hex digit for ≤16 labels, letters beyond).
+fn glyph(label: u16) -> char {
+    char::from_digit(label as u32 % 36, 36).unwrap_or('?')
+}
+
+/// Renders a label grid as ASCII art, downsampled to at most
+/// `max_cols` columns; the vertical axis points up (positive imaginary
+/// at the top), matching constellation plots.
+pub fn ascii_regions(grid: &LabelGrid, max_cols: usize) -> String {
+    assert!(max_cols >= 8);
+    let step = grid.nx().div_ceil(max_cols).max(1);
+    let mut out = String::new();
+    let mut iy = grid.ny();
+    while iy > 0 {
+        iy = iy.saturating_sub(step);
+        let mut ix = 0;
+        while ix < grid.nx() {
+            out.push(glyph(grid.label(ix, iy)));
+            ix += step;
+        }
+        out.push('\n');
+        if iy == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// ASCII regions with centroid markers (`*`) overlaid.
+pub fn ascii_regions_with_centroids(report: &ExtractionReport, max_cols: usize) -> String {
+    let grid = &report.grid;
+    let step = grid.nx().div_ceil(max_cols).max(1);
+    let w = grid.window();
+    // Rasterise base map into a char grid first.
+    let cols = grid.nx().div_ceil(step);
+    let rows = grid.ny().div_ceil(step);
+    let mut canvas = vec![vec![' '; cols]; rows];
+    for (ry, row) in canvas.iter_mut().enumerate() {
+        for (rx, slot) in row.iter_mut().enumerate() {
+            let ix = (rx * step).min(grid.nx() - 1);
+            // Row 0 is the top of the plot = maximum iy.
+            let iy = grid.ny() - 1 - (ry * step).min(grid.ny() - 1);
+            *slot = glyph(grid.label(ix, iy));
+        }
+    }
+    for c in &report.centroids {
+        let tx = (c.re as f64 - w.x0) / w.width();
+        let ty = (c.im as f64 - w.y0) / w.height();
+        if (0.0..1.0).contains(&tx) && (0.0..1.0).contains(&ty) {
+            let rx = ((tx * cols as f64) as usize).min(cols - 1);
+            let ry = rows - 1 - ((ty * rows as f64) as usize).min(rows - 1);
+            canvas[ry][rx] = '*';
+        }
+    }
+    let mut out = String::new();
+    for row in canvas {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// ASCII scatter of a constellation over `[-range, range]²`.
+pub fn ascii_constellation(points: &[C32], range: f32, size: usize) -> String {
+    assert!(size >= 8 && range > 0.0);
+    let mut canvas = vec![vec!['.'; size]; size];
+    for (u, p) in points.iter().enumerate() {
+        let tx = ((p.re + range) / (2.0 * range)).clamp(0.0, 0.999);
+        let ty = ((p.im + range) / (2.0 * range)).clamp(0.0, 0.999);
+        let x = (tx * size as f32) as usize;
+        let y = size - 1 - (ty * size as f32) as usize;
+        canvas[y][x] = glyph(u as u16);
+    }
+    let mut out = String::new();
+    for row in canvas {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises a label grid as an ASCII PGM (P2) image; labels map to
+/// evenly spaced gray levels. Returns the file content.
+pub fn pgm_regions(grid: &LabelGrid) -> String {
+    let labels = grid.distinct_labels();
+    let max_label = labels.iter().copied().max().unwrap_or(0) as u32;
+    let levels = (max_label + 1).max(2);
+    let mut s = String::new();
+    let _ = writeln!(s, "P2");
+    let _ = writeln!(s, "# hybridem decision regions");
+    let _ = writeln!(s, "{} {}", grid.nx(), grid.ny());
+    let _ = writeln!(s, "255");
+    for iy in (0..grid.ny()).rev() {
+        let mut line = String::new();
+        for ix in 0..grid.nx() {
+            let v = (grid.label(ix, iy) as u32 * 255) / (levels - 1).max(1);
+            let _ = write!(line, "{} ", v.min(255));
+        }
+        let _ = writeln!(s, "{}", line.trim_end());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_geom::grid::Window;
+
+    fn quadrants() -> LabelGrid {
+        LabelGrid::sample(Window::square(1.0), 32, 32, |p| {
+            match (p.x >= 0.0, p.y >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            }
+        })
+    }
+
+    #[test]
+    fn ascii_orientation() {
+        let art = ascii_regions(&quadrants(), 32);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines.is_empty());
+        // Top row is +imag: left half label 1, right half label 0.
+        let top = lines[0];
+        assert!(top.starts_with('1'));
+        assert!(top.ends_with('0'));
+        let bottom = lines[lines.len() - 1];
+        assert!(bottom.starts_with('2'));
+        assert!(bottom.ends_with('3'));
+    }
+
+    #[test]
+    fn ascii_downsamples() {
+        let art = ascii_regions(&quadrants(), 16);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].len() <= 16);
+    }
+
+    #[test]
+    fn constellation_scatter_places_labels() {
+        let pts = [C32::new(0.9, 0.9), C32::new(-0.9, -0.9)];
+        let art = ascii_constellation(&pts, 1.0, 16);
+        let lines: Vec<&str> = art.lines().collect();
+        // Label 0 near top-right, label 1 near bottom-left.
+        assert!(lines[0..4].iter().any(|l| l.contains('0')));
+        assert!(lines[12..16].iter().any(|l| l.contains('1')));
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let pgm = pgm_regions(&quadrants());
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        let _comment = lines.next();
+        assert_eq!(lines.next(), Some("32 32"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(pgm.lines().count(), 4 + 32);
+        // All pixel values within 0..=255.
+        for line in pgm.lines().skip(4) {
+            for tok in line.split_whitespace() {
+                let v: u32 = tok.parse().unwrap();
+                assert!(v <= 255);
+            }
+        }
+    }
+}

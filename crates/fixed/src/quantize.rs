@@ -1,0 +1,158 @@
+//! Tensor quantisation: mapping the trained f32 network onto fixed
+//! point formats for the FPGA datapath.
+//!
+//! [`QuantSpec::fit`] performs the range analysis step of an FPGA
+//! deployment flow: given the observed dynamic range of a tensor
+//! (weights after training, activations after calibration), choose the
+//! number of integer bits that avoids saturation and spend the rest of
+//! the budget on fraction bits. [`sqnr_db`] quantifies the damage.
+
+use crate::qformat::QFormat;
+use crate::rounding::Rounding;
+use serde::{Deserialize, Serialize};
+
+/// A tensor quantisation plan.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// The chosen fixed-point format.
+    pub format: QFormat,
+    /// Rounding mode applied during conversion.
+    pub rounding: Rounding,
+}
+
+impl QuantSpec {
+    /// Fits a signed format of `total_bits` to data with the given
+    /// maximum absolute value: integer bits = ⌈log₂(max_abs)⌉ + sign,
+    /// remaining bits become fraction bits.
+    ///
+    /// `max_abs == 0` (an all-zero tensor) gets the all-fraction format.
+    pub fn fit(total_bits: u32, max_abs: f64, rounding: Rounding) -> Self {
+        assert!((2..=32).contains(&total_bits), "unsupported width {total_bits}");
+        let int_bits = if max_abs <= 0.0 {
+            0
+        } else {
+            // Bits needed so that max_abs ≤ max representable.
+            let needed = max_abs.log2().floor() as i64 + 1;
+            needed.clamp(0, (total_bits - 1) as i64) as u32
+        };
+        let frac = total_bits - 1 - int_bits;
+        Self {
+            format: QFormat::signed(total_bits, frac),
+            rounding,
+        }
+    }
+
+    /// Fits a format to a data slice (max-abs calibration).
+    pub fn fit_to_data(total_bits: u32, data: &[f32], rounding: Rounding) -> Self {
+        let max_abs = data.iter().fold(0.0f32, |m, &x| m.max(x.abs())) as f64;
+        Self::fit(total_bits, max_abs, rounding)
+    }
+
+    /// Quantises one value to its raw representation.
+    pub fn quantize(&self, v: f32) -> i64 {
+        self.format.raw_from_f64(v as f64, self.rounding)
+    }
+
+    /// Dequantises one raw value.
+    pub fn dequantize(&self, raw: i64) -> f32 {
+        self.format.f64_from_raw(raw) as f32
+    }
+}
+
+/// Quantises a whole slice, returning the raw representation.
+pub fn quantize_slice(spec: &QuantSpec, data: &[f32]) -> Vec<i64> {
+    data.iter().map(|&v| spec.quantize(v)).collect()
+}
+
+/// Dequantises a slice of raw values.
+pub fn dequantize(spec: &QuantSpec, raw: &[i64]) -> Vec<f32> {
+    raw.iter().map(|&r| spec.dequantize(r)).collect()
+}
+
+/// Signal-to-quantisation-noise ratio in dB between a reference signal
+/// and its quantised reconstruction. Returns `f64::INFINITY` for an
+/// exact match and `f64::NAN` for an all-zero reference.
+pub fn sqnr_db(reference: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(reference.len(), reconstructed.len());
+    let mut sig = 0.0f64;
+    let mut noise = 0.0f64;
+    for (&r, &q) in reference.iter().zip(reconstructed) {
+        sig += (r as f64) * (r as f64);
+        let e = (r - q) as f64;
+        noise += e * e;
+    }
+    if sig == 0.0 {
+        f64::NAN
+    } else if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_chooses_enough_integer_bits() {
+        let s = QuantSpec::fit(8, 3.9, Rounding::Nearest);
+        // Needs 2 integer bits (+sign) for 3.9.
+        assert!(s.format.max_value() >= 3.9);
+        assert_eq!(s.format.total_bits, 8);
+        // A tensor bounded by 0.9 should spend everything on fractions.
+        let t = QuantSpec::fit(8, 0.9, Rounding::Nearest);
+        assert_eq!(t.format.int_bits(), 1); // sign only
+        assert!(t.format.max_value() >= 0.9);
+    }
+
+    #[test]
+    fn fit_handles_zero_and_powers_of_two() {
+        let z = QuantSpec::fit(8, 0.0, Rounding::Nearest);
+        assert_eq!(z.format.frac_bits, 7);
+        // Exactly 1.0 needs one integer bit (1.0 > max of all-fraction Q0.7).
+        let one = QuantSpec::fit(8, 1.0, Rounding::Nearest);
+        assert!(one.format.max_value() >= 1.0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_lsb() {
+        let data: Vec<f32> = (-50..50).map(|i| i as f32 * 0.037).collect();
+        let spec = QuantSpec::fit_to_data(12, &data, Rounding::Nearest);
+        let raw = quantize_slice(&spec, &data);
+        let back = dequantize(&spec, &raw);
+        let half_lsb = spec.format.resolution() / 2.0 + 1e-9;
+        for (&a, &b) in data.iter().zip(&back) {
+            assert!(((a - b) as f64).abs() <= half_lsb, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sqnr_improves_with_width() {
+        let data: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.01).sin()).collect();
+        let mut last = -1.0;
+        for bits in [4u32, 6, 8, 10, 12, 16] {
+            let spec = QuantSpec::fit_to_data(bits, &data, Rounding::Nearest);
+            let back = dequantize(&spec, &quantize_slice(&spec, &data));
+            let s = sqnr_db(&data, &back);
+            assert!(s > last, "SQNR must increase with width: {s} after {last}");
+            last = s;
+        }
+        // Rule of thumb: ≈ 6 dB per bit; 16 bits on unit-range data
+        // should exceed 80 dB comfortably.
+        assert!(last > 80.0, "16-bit SQNR too low: {last}");
+    }
+
+    #[test]
+    fn sqnr_edge_cases() {
+        let x = [1.0f32, 2.0];
+        assert!(sqnr_db(&x, &x).is_infinite());
+        assert!(sqnr_db(&[0.0, 0.0], &[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported width")]
+    fn fit_rejects_silly_widths() {
+        let _ = QuantSpec::fit(1, 1.0, Rounding::Nearest);
+    }
+}

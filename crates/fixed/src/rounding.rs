@@ -1,0 +1,122 @@
+//! Rounding modes for fraction-bit reduction.
+//!
+//! These mirror the HLS quantisation modes the paper's toolchain
+//! (Vivado HLS `ap_fixed`) offers: plain truncation (`AP_TRN`, the
+//! cheapest in hardware), round-half-away (`AP_RND`), and
+//! round-half-even (`AP_RND_CONV`, the DSP-friendly convergent mode).
+
+use serde::{Deserialize, Serialize};
+
+/// How to dispose of discarded fraction bits when narrowing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Drop the bits (floor for non-negative raws, toward −∞ in
+    /// two's complement). Zero extra hardware.
+    Truncate,
+    /// Round to nearest, ties away from zero. One adder.
+    Nearest,
+    /// Round to nearest, ties to even. One adder plus a LUT; avoids the
+    /// DC bias `Nearest` introduces on exact ties.
+    NearestEven,
+}
+
+impl Rounding {
+    /// Shifts `raw` right by `shift` bits applying this rounding mode.
+    /// `shift == 0` is the identity; `shift` ≥ 63 collapses to the sign.
+    #[inline]
+    pub fn shift_right(self, raw: i64, shift: u32) -> i64 {
+        if shift == 0 {
+            return raw;
+        }
+        if shift >= 63 {
+            // Everything is fraction; the magnitude rounds to 0, and the
+            // arithmetic shift of the sign handles Truncate semantics.
+            return match self {
+                Rounding::Truncate => raw >> 62 >> 1,
+                _ => 0,
+            };
+        }
+        match self {
+            Rounding::Truncate => raw >> shift,
+            Rounding::Nearest => {
+                let half = 1i64 << (shift - 1);
+                // Add half of an LSB before truncating; for negative raw
+                // values this implements ties-away-from-zero.
+                if raw >= 0 {
+                    (raw + half) >> shift
+                } else {
+                    -((-raw + half) >> shift)
+                }
+            }
+            Rounding::NearestEven => {
+                let floor = raw >> shift;
+                let rem = raw - (floor << shift);
+                let half = 1i64 << (shift - 1);
+                if rem > half || (rem == half && (floor & 1) == 1) {
+                    floor + 1
+                } else {
+                    floor
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_is_floor_shift() {
+        assert_eq!(Rounding::Truncate.shift_right(7, 1), 3);
+        assert_eq!(Rounding::Truncate.shift_right(-7, 1), -4); // toward −∞
+        assert_eq!(Rounding::Truncate.shift_right(8, 2), 2);
+        assert_eq!(Rounding::Truncate.shift_right(5, 0), 5);
+    }
+
+    #[test]
+    fn nearest_rounds_half_away() {
+        assert_eq!(Rounding::Nearest.shift_right(3, 1), 2); // 1.5 → 2
+        assert_eq!(Rounding::Nearest.shift_right(-3, 1), -2); // −1.5 → −2
+        assert_eq!(Rounding::Nearest.shift_right(5, 2), 1); // 1.25 → 1
+        assert_eq!(Rounding::Nearest.shift_right(7, 2), 2); // 1.75 → 2
+    }
+
+    #[test]
+    fn nearest_even_breaks_ties_to_even() {
+        // 0.5 → 0 (even), 1.5 → 2 (even), 2.5 → 2 (even).
+        assert_eq!(Rounding::NearestEven.shift_right(1, 1), 0);
+        assert_eq!(Rounding::NearestEven.shift_right(3, 1), 2);
+        assert_eq!(Rounding::NearestEven.shift_right(5, 1), 2);
+        // Non-ties behave like nearest.
+        assert_eq!(Rounding::NearestEven.shift_right(7, 2), 2);
+        assert_eq!(Rounding::NearestEven.shift_right(-3, 1), -2);
+    }
+
+    #[test]
+    fn nearest_even_has_no_tie_bias() {
+        // Summed rounding error over a symmetric set of ties cancels.
+        let mut bias_nearest = 0i64;
+        let mut bias_even = 0i64;
+        for raw in (-100..100).map(|k| 2 * k + 1) {
+            bias_nearest += Rounding::Nearest.shift_right(raw, 1) * 2 - raw;
+            bias_even += Rounding::NearestEven.shift_right(raw, 1) * 2 - raw;
+        }
+        assert_eq!(bias_even, 0);
+        // ties-away drifts by one LSB per pair of equal-sign ties; the
+        // symmetric range makes it cancel too, but each half is biased.
+        let pos: i64 = (1..100)
+            .map(|k| Rounding::Nearest.shift_right(2 * k + 1, 1) * 2 - (2 * k + 1))
+            .sum();
+        assert!(pos > 0);
+        let _ = bias_nearest;
+    }
+
+    #[test]
+    fn extreme_shift_collapses() {
+        assert_eq!(Rounding::Truncate.shift_right(-1, 63), -1);
+        assert_eq!(Rounding::Truncate.shift_right(1, 64), 0);
+        assert_eq!(Rounding::Nearest.shift_right(i64::MAX, 64), 0);
+        assert_eq!(Rounding::NearestEven.shift_right(i64::MIN / 2, 70), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of fixed-point arithmetic: the invariants the
+//! FPGA datapath simulation relies on.
+
+use hybridem_fixed::{Fx, QFormat, QuantSpec, Rounding};
+use proptest::prelude::*;
+
+fn formats() -> impl Strategy<Value = QFormat> {
+    (2u32..=16, 0u32..=16).prop_map(|(total, frac)| QFormat::signed(total, frac.min(total)))
+}
+
+fn roundings() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Truncate),
+        Just(Rounding::Nearest),
+        Just(Rounding::NearestEven),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn conversion_round_trip_within_half_lsb(f in formats(), v in -100.0f64..100.0) {
+        let raw = f.raw_from_f64(v, Rounding::Nearest);
+        let back = f.f64_from_raw(raw);
+        if v >= f.min_value() && v <= f.max_value() {
+            prop_assert!((back - v).abs() <= f.resolution() / 2.0 + 1e-12,
+                "{v} → {back} in {f}");
+        } else {
+            // Saturated: clamped to the nearer bound.
+            prop_assert!(back == f.min_value() || back == f.max_value());
+        }
+    }
+
+    #[test]
+    fn saturation_never_out_of_range(f in formats(), raw in any::<i32>()) {
+        let (s, _) = f.saturate(raw as i64);
+        prop_assert!(s >= f.raw_min() && s <= f.raw_max());
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_one(r in roundings(), raw in -1_000_000i64..1_000_000, shift in 1u32..20) {
+        let shifted = r.shift_right(raw, shift);
+        let exact = raw as f64 / (1u64 << shift) as f64;
+        prop_assert!((shifted as f64 - exact).abs() <= 1.0, "{raw} >> {shift} = {shifted} vs {exact}");
+    }
+
+    #[test]
+    fn nearest_rounding_error_at_most_half(raw in -1_000_000i64..1_000_000, shift in 1u32..20) {
+        let shifted = Rounding::Nearest.shift_right(raw, shift);
+        let exact = raw as f64 / (1u64 << shift) as f64;
+        prop_assert!((shifted as f64 - exact).abs() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn addition_is_exact(fa in formats(), fb in formats(), a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let xa = Fx::from_f64(a, fa, Rounding::Nearest);
+        let xb = Fx::from_f64(b, fb, Rounding::Nearest);
+        let s = xa.add_exact(&xb);
+        prop_assert!((s.to_f64() - (xa.to_f64() + xb.to_f64())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_is_exact(fa in formats(), fb in formats(), a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        prop_assume!(fa.total_bits + fb.total_bits <= 40);
+        let xa = Fx::from_f64(a, fa, Rounding::Nearest);
+        let xb = Fx::from_f64(b, fb, Rounding::Nearest);
+        let p = xa.mul_exact(&xb);
+        prop_assert!((p.to_f64() - xa.to_f64() * xb.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resize_then_widen_is_idempotent(f in formats(), v in -5.0f64..5.0) {
+        // Narrow → widen → narrow again must not change the value.
+        let wide = QFormat::signed(24, 12);
+        let x = Fx::from_f64(v, wide, Rounding::Nearest);
+        let (narrow, _) = x.resize(f, Rounding::Nearest);
+        let (rewide, _) = narrow.resize(wide, Rounding::Nearest);
+        let (narrow2, _) = rewide.resize(f, Rounding::Nearest);
+        prop_assert_eq!(narrow.raw(), narrow2.raw());
+    }
+
+    #[test]
+    fn quantspec_fit_covers_data(bits in 4u32..16, scale in 0.01f64..100.0) {
+        let spec = QuantSpec::fit(bits, scale, Rounding::Nearest);
+        if scale <= (1u64 << (bits - 1)) as f64 {
+            // Representable budget: the fitted format covers ±scale.
+            prop_assert!(spec.format.max_value() >= scale - spec.format.resolution());
+            prop_assert!(spec.format.min_value() <= -scale + spec.format.resolution());
+        } else {
+            // Out of range: fit maxes the integer part (saturating use).
+            prop_assert_eq!(spec.format.frac_bits, 0);
+        }
+    }
+
+    #[test]
+    fn dot_product_fold_invariance(
+        xs in proptest::collection::vec(-1.0f32..1.0, 8),
+        ws in proptest::collection::vec(-1.0f32..1.0, 8),
+    ) {
+        // Accumulating in any chunk order gives the same raw result —
+        // the property behind MVAU fold invariance.
+        let af = QFormat::signed(8, 6);
+        let wf = QFormat::signed(8, 6);
+        let q = |v: f32, f: QFormat| f.raw_from_f64(v as f64, Rounding::Nearest);
+        let xq: Vec<i64> = xs.iter().map(|&v| q(v, af)).collect();
+        let wq: Vec<i64> = ws.iter().map(|&v| q(v, wf)).collect();
+        let full: i64 = xq.iter().zip(&wq).map(|(&x, &w)| x * w).sum();
+        for chunk in [1usize, 2, 4, 8] {
+            let mut acc = 0i64;
+            for (cx, cw) in xq.chunks(chunk).zip(wq.chunks(chunk)) {
+                let part: i64 = cx.iter().zip(cw).map(|(&x, &w)| x * w).sum();
+                acc += part;
+            }
+            prop_assert_eq!(acc, full);
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The FINN-style Matrix-Vector-Activation Unit (MVAU).
+//!
+//! One MVAU implements one dense layer in hardware. Parallelism is
+//! described FINN-style by two folding factors:
+//!
+//! - `simd` — how many of the `in_dim` inputs are multiplied per cycle;
+//! - `pe`   — how many of the `out_dim` neurons are computed in
+//!   parallel ("processing elements").
+//!
+//! One input vector therefore occupies the unit for
+//! `II = (in_dim/simd) · (out_dim/pe)` cycles — the paper's "degree of
+//! parallelism (DOP) … trade-off between latency and power".
+//!
+//! The numeric path is bit-exact fixed point: weights and activations
+//! are quantised ([`hybridem_fixed`]), products and accumulations are
+//! exact (the accumulator format carries ⌈log₂ fan-in⌉ guard bits), and
+//! only the final activation cast narrows. Because integer addition is
+//! associative, the result is independent of the folding — asserted by
+//! tests, and the reason `process` can compute in natural order.
+
+use crate::resources::{self, ResourceUsage};
+use crate::sigmoid_lut::SigmoidLut;
+use hybridem_fixed::{QFormat, QuantSpec, Rounding};
+use hybridem_mathkit::matrix::Matrix;
+
+/// Hardware activation function of an MVAU.
+#[derive(Clone, Debug)]
+pub enum HwActivation {
+    /// max(0, x), then cast to the output format.
+    Relu,
+    /// Sigmoid via lookup table.
+    Sigmoid(SigmoidLut),
+    /// Cast only.
+    Linear,
+}
+
+/// Static configuration of an MVAU.
+#[derive(Clone, Debug)]
+pub struct MvauConfig {
+    /// Input feature count.
+    pub in_dim: usize,
+    /// Output neuron count.
+    pub out_dim: usize,
+    /// Input-side parallelism (must divide `in_dim`).
+    pub simd: usize,
+    /// Output-side parallelism (must divide `out_dim`).
+    pub pe: usize,
+    /// Weight quantisation format.
+    pub weight_format: QFormat,
+    /// Input activation format.
+    pub in_format: QFormat,
+    /// Output activation format.
+    pub out_format: QFormat,
+    /// Weight memories writable at runtime (required for on-chip
+    /// retraining; forces BRAM mapping per PE).
+    pub writable_weights: bool,
+}
+
+impl MvauConfig {
+    /// Validates the folding factors.
+    pub fn validate(&self) {
+        assert!(self.simd >= 1 && self.in_dim.is_multiple_of(self.simd), "simd must divide in_dim");
+        assert!(self.pe >= 1 && self.out_dim.is_multiple_of(self.pe), "pe must divide out_dim");
+    }
+
+    /// Fully-unfolded configuration (simd = in, pe = out): one result
+    /// per cycle, maximal resources — the paper's inference design.
+    pub fn full_parallel(
+        in_dim: usize,
+        out_dim: usize,
+        weight_format: QFormat,
+        in_format: QFormat,
+        out_format: QFormat,
+        writable_weights: bool,
+    ) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            simd: in_dim,
+            pe: out_dim,
+            weight_format,
+            in_format,
+            out_format,
+            writable_weights,
+        }
+    }
+
+    /// Initiation interval in cycles.
+    pub fn ii_cycles(&self) -> u64 {
+        ((self.in_dim / self.simd) * (self.out_dim / self.pe)) as u64
+    }
+
+    /// Pipeline depth in cycles: the input fold drains through the
+    /// multiplier stage (`in_dim/simd` beats interleaved with the
+    /// output fold — bounded below by II), plus the SIMD adder tree,
+    /// with the activation folded into the final tree level.
+    /// For the fully-unfolded case this is `1 + ⌈log₂ in_dim⌉`.
+    pub fn depth_cycles(&self) -> u64 {
+        self.ii_cycles() + ceil_log2(self.simd) as u64
+    }
+
+    /// Exact accumulator format.
+    pub fn acc_format(&self) -> QFormat {
+        self.in_format.accumulator(&self.weight_format, self.in_dim)
+    }
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()).max(1)
+}
+
+/// A configured MVAU holding quantised weights.
+#[derive(Clone, Debug)]
+pub struct Mvau {
+    cfg: MvauConfig,
+    activation: HwActivation,
+    /// Raw weights, `out_dim × in_dim` row-major, in `weight_format`.
+    weights: Vec<i64>,
+    /// Raw biases in the accumulator format.
+    biases: Vec<i64>,
+}
+
+impl Mvau {
+    /// Quantises a dense layer (`weight`: `out × in`, `bias`: `1 × out`)
+    /// into hardware form.
+    pub fn from_dense(
+        cfg: MvauConfig,
+        weight: &Matrix<f32>,
+        bias: &Matrix<f32>,
+        activation: HwActivation,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(weight.shape(), (cfg.out_dim, cfg.in_dim), "weight shape");
+        assert_eq!(bias.cols(), cfg.out_dim, "bias length");
+        let wspec = QuantSpec {
+            format: cfg.weight_format,
+            rounding: Rounding::Nearest,
+        };
+        let weights = weight.as_slice().iter().map(|&w| wspec.quantize(w)).collect();
+        let acc = cfg.acc_format();
+        let biases = bias
+            .as_slice()
+            .iter()
+            .map(|&b| acc.raw_from_f64(b as f64, Rounding::Nearest))
+            .collect();
+        Self {
+            cfg,
+            activation,
+            weights,
+            biases,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MvauConfig {
+        &self.cfg
+    }
+
+    /// The quantised weights as dequantised f32s (`out × in`) — what
+    /// the rest of the system "sees" after deployment.
+    pub fn effective_weights(&self) -> Matrix<f32> {
+        let mut m = Matrix::zeros(self.cfg.out_dim, self.cfg.in_dim);
+        for (slot, &raw) in m.as_mut_slice().iter_mut().zip(&self.weights) {
+            *slot = self.cfg.weight_format.f64_from_raw(raw) as f32;
+        }
+        m
+    }
+
+    /// Bit-exact forward pass for one input vector (raw values in
+    /// `in_format`). Fold-invariant by integer associativity.
+    pub fn process(&self, input_raw: &[i64]) -> Vec<i64> {
+        assert_eq!(input_raw.len(), self.cfg.in_dim, "input width");
+        let acc_fmt = self.cfg.acc_format();
+        let prod_frac = self.cfg.in_format.frac_bits + self.cfg.weight_format.frac_bits;
+        debug_assert_eq!(acc_fmt.frac_bits, prod_frac);
+        let mut out = Vec::with_capacity(self.cfg.out_dim);
+        for o in 0..self.cfg.out_dim {
+            let row = &self.weights[o * self.cfg.in_dim..(o + 1) * self.cfg.in_dim];
+            let mut acc: i64 = self.biases[o];
+            for (&w, &x) in row.iter().zip(input_raw) {
+                acc += w * x;
+            }
+            // Saturate into the accumulator format (guard bits make
+            // overflow impossible for worst-case inputs, but keep the
+            // hardware semantics explicit).
+            let (acc, _) = acc_fmt.saturate(acc);
+            out.push(self.apply_activation(acc, acc_fmt));
+        }
+        out
+    }
+
+    fn apply_activation(&self, acc_raw: i64, acc_fmt: QFormat) -> i64 {
+        match &self.activation {
+            HwActivation::Relu => {
+                let clamped = acc_raw.max(0);
+                hybridem_fixed::Fx::from_raw(clamped, acc_fmt)
+                    .cast(self.cfg.out_format, Rounding::Truncate)
+                    .raw()
+            }
+            HwActivation::Linear => hybridem_fixed::Fx::from_raw(acc_raw, acc_fmt)
+                .cast(self.cfg.out_format, Rounding::Nearest)
+                .raw(),
+            HwActivation::Sigmoid(lut) => lut.lookup(acc_raw, acc_fmt),
+        }
+    }
+
+    /// Structural resource estimate.
+    pub fn resources(&self) -> ResourceUsage {
+        let cfg = &self.cfg;
+        let acc = cfg.acc_format();
+        let mut r = ResourceUsage::zero();
+        // PE × SIMD multiplier lanes: the multiplier itself plus the
+        // per-lane weight-fetch/accumulate interface logic FINN MVAUs
+        // spend around each DSP (~6 LUTs per lane after synthesis).
+        r += (resources::multiplier(cfg.in_format.total_bits, cfg.weight_format.total_bits)
+            + ResourceUsage {
+                lut: 6,
+                ..Default::default()
+            })
+            .times((cfg.pe * cfg.simd) as u64);
+        // Per-PE SIMD adder tree at accumulator width.
+        r += resources::reduction_tree(cfg.simd, resources::adder(acc.total_bits))
+            .times(cfg.pe as u64);
+        // Per-PE fold accumulator (register + adder) when input folds.
+        if cfg.simd < cfg.in_dim {
+            r += (resources::adder(acc.total_bits) + resources::register(acc.total_bits))
+                .times(cfg.pe as u64);
+        }
+        // Weight memory: per-PE partitions. Writable memories (needed by
+        // on-chip retraining) are forced to BRAM with half-BRAM minimum
+        // granularity per PE — the FINN weight-streamer layout.
+        let bits_per_pe =
+            (cfg.in_dim * cfg.out_dim / cfg.pe) as u64 * cfg.weight_format.total_bits as u64;
+        if cfg.writable_weights {
+            let per_pe = (bits_per_pe as f64 / 18_432.0).ceil().max(1.0) * 0.5;
+            r += ResourceUsage {
+                bram36: per_pe * cfg.pe as f64,
+                ..Default::default()
+            };
+        } else {
+            r += resources::memory(
+                bits_per_pe,
+                cfg.weight_format.total_bits * cfg.simd as u32,
+            )
+            .times(cfg.pe as u64);
+        }
+        // Activation units per PE.
+        match &self.activation {
+            HwActivation::Relu => {
+                r += resources::comparator(acc.total_bits).times(cfg.pe as u64);
+                r += resources::mux2(cfg.out_format.total_bits).times(cfg.pe as u64);
+            }
+            HwActivation::Sigmoid(lut) => {
+                r += lut.resources().times(cfg.pe as u64);
+            }
+            HwActivation::Linear => {}
+        }
+        // Output registers and fold-control counters.
+        r += resources::register(cfg.out_format.total_bits).times(cfg.pe as u64);
+        r += ResourceUsage {
+            lut: 40 + 8 * (ceil_log2(cfg.ii_cycles().max(2) as usize) as u64),
+            ff: 24,
+            ..Default::default()
+        };
+        r
+    }
+
+    /// Combinational critical path (ns) when the unit is *not*
+    /// pipelined: multiplier, full adder tree, activation step —
+    /// inflated by a routing/congestion factor.
+    pub fn critical_path_ns(&self) -> f64 {
+        use crate::resources::delay_ns::*;
+        let mult = if self.cfg.weight_format.total_bits.min(self.cfg.in_format.total_bits)
+            >= resources::DSP_MULT_THRESHOLD
+        {
+            DSP_MULT
+        } else {
+            LUT_MULT
+        };
+        let tree = ceil_log2(self.cfg.in_dim) as f64 * ADD_LEVEL;
+        let act = LUT_STEP;
+        mult + tree + act + REG_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt8_6() -> QFormat {
+        QFormat::signed(8, 6)
+    }
+
+    fn make_mvau(simd: usize, pe: usize, act: HwActivation) -> Mvau {
+        let w = Matrix::from_rows(&[
+            &[0.5f32, -0.25, 0.75, 0.125],
+            &[-0.5, 0.5, -0.125, 0.25],
+        ]);
+        let b = Matrix::from_rows(&[&[0.1f32, -0.2]]);
+        let cfg = MvauConfig {
+            in_dim: 4,
+            out_dim: 2,
+            simd,
+            pe,
+            weight_format: fmt8_6(),
+            in_format: fmt8_6(),
+            out_format: fmt8_6(),
+            writable_weights: false,
+        };
+        Mvau::from_dense(cfg, &w, &b, act)
+    }
+
+    #[test]
+    fn process_matches_reference_float() {
+        let mvau = make_mvau(4, 2, HwActivation::Linear);
+        let in_fmt = fmt8_6();
+        let xs = [0.9f32, -0.4, 0.2, 0.7];
+        let raw: Vec<i64> = xs
+            .iter()
+            .map(|&x| in_fmt.raw_from_f64(x as f64, Rounding::Nearest))
+            .collect();
+        let out = mvau.process(&raw);
+        // Reference: exact dot product of the *quantised* values.
+        let wq = mvau.effective_weights();
+        for o in 0..2 {
+            let mut acc = mvau.config().acc_format().f64_from_raw(mvau.biases[o]);
+            for i in 0..4 {
+                acc += wq[(o, i)] as f64 * in_fmt.f64_from_raw(raw[i]);
+            }
+            let got = fmt8_6().f64_from_raw(out[o]);
+            assert!(
+                (got - acc).abs() <= fmt8_6().resolution() + 1e-9,
+                "output {o}: {got} vs {acc}"
+            );
+        }
+    }
+
+    #[test]
+    fn folding_does_not_change_results() {
+        let input: Vec<i64> = vec![30, -20, 5, 63];
+        let reference = make_mvau(4, 2, HwActivation::Relu).process(&input);
+        for (simd, pe) in [(1, 1), (2, 1), (4, 1), (1, 2), (2, 2)] {
+            let folded = make_mvau(simd, pe, HwActivation::Relu);
+            assert_eq!(folded.process(&input), reference, "simd={simd} pe={pe}");
+        }
+    }
+
+    #[test]
+    fn relu_clamps_in_fixed_point() {
+        let mvau = make_mvau(4, 2, HwActivation::Relu);
+        // Strongly negative input drives output 1 negative pre-ReLU.
+        let in_fmt = fmt8_6();
+        let raw: Vec<i64> = [1.0f32, -1.0, 1.0, -1.0]
+            .iter()
+            .map(|&x| in_fmt.raw_from_f64(x as f64, Rounding::Nearest))
+            .collect();
+        let out = mvau.process(&raw);
+        assert!(out.iter().all(|&o| o >= 0), "ReLU output must be non-negative");
+    }
+
+    #[test]
+    fn ii_and_depth_formulas() {
+        let full = MvauConfig::full_parallel(16, 16, fmt8_6(), fmt8_6(), fmt8_6(), false);
+        assert_eq!(full.ii_cycles(), 1);
+        assert_eq!(full.depth_cycles(), 1 + 4);
+        let folded = MvauConfig {
+            simd: 4,
+            pe: 4,
+            ..full
+        };
+        assert_eq!(folded.ii_cycles(), 16);
+        assert!(folded.depth_cycles() >= folded.ii_cycles());
+    }
+
+    #[test]
+    fn paper_demapper_full_parallel_uses_352_dsp() {
+        // The calibration anchor: 2→16, 16→16, 16→4 fully unfolded.
+        let dims = [(2usize, 16usize), (16, 16), (16, 4)];
+        let mut dsp = 0u64;
+        for (i, o) in dims {
+            let cfg =
+                MvauConfig::full_parallel(i, o, fmt8_6(), fmt8_6(), fmt8_6(), true);
+            let w = Matrix::zeros(o, i);
+            let b = Matrix::zeros(1, o);
+            let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Relu);
+            dsp += m.resources().dsp;
+        }
+        assert_eq!(dsp, 352);
+    }
+
+    #[test]
+    fn folding_trades_dsp_for_time() {
+        let mk = |simd, pe| {
+            let cfg = MvauConfig {
+                in_dim: 16,
+                out_dim: 16,
+                simd,
+                pe,
+                weight_format: fmt8_6(),
+                in_format: fmt8_6(),
+                out_format: fmt8_6(),
+                writable_weights: false,
+            };
+            let m = Mvau::from_dense(
+                cfg,
+                &Matrix::zeros(16, 16),
+                &Matrix::zeros(1, 16),
+                HwActivation::Relu,
+            );
+            (m.resources().dsp, m.config().ii_cycles())
+        };
+        let (dsp_full, ii_full) = mk(16, 16);
+        let (dsp_half, ii_half) = mk(8, 8);
+        let (dsp_min, ii_min) = mk(1, 1);
+        assert_eq!(dsp_full, 256);
+        assert_eq!(dsp_half, 64);
+        assert_eq!(dsp_min, 1);
+        assert_eq!(ii_full, 1);
+        assert_eq!(ii_half, 4);
+        assert_eq!(ii_min, 256);
+        // DSP × II ≈ constant (the MAC count).
+        assert_eq!(dsp_full * ii_full, 256);
+        assert_eq!(dsp_half * ii_half, 256);
+        assert_eq!(dsp_min * ii_min, 256);
+    }
+
+    #[test]
+    fn writable_weights_force_bram() {
+        let mk = |writable| {
+            let cfg = MvauConfig {
+                in_dim: 16,
+                out_dim: 16,
+                simd: 16,
+                pe: 16,
+                weight_format: fmt8_6(),
+                in_format: fmt8_6(),
+                out_format: fmt8_6(),
+                writable_weights: writable,
+            };
+            Mvau::from_dense(
+                cfg,
+                &Matrix::zeros(16, 16),
+                &Matrix::zeros(1, 16),
+                HwActivation::Relu,
+            )
+            .resources()
+        };
+        let ro = mk(false);
+        let rw = mk(true);
+        assert_eq!(ro.bram36, 0.0, "256 small weights fit LUTRAM when read-only");
+        assert_eq!(rw.bram36, 8.0, "16 PEs × half-BRAM when runtime-writable");
+    }
+
+    #[test]
+    fn critical_path_grows_with_fan_in() {
+        let small = make_mvau(4, 2, HwActivation::Linear);
+        let cfg = MvauConfig::full_parallel(64, 4, fmt8_6(), fmt8_6(), fmt8_6(), false);
+        let big = Mvau::from_dense(
+            cfg,
+            &Matrix::zeros(4, 64),
+            &Matrix::zeros(1, 4),
+            HwActivation::Linear,
+        );
+        assert!(big.critical_path_ns() > small.critical_path_ns());
+    }
+
+    #[test]
+    fn sigmoid_activation_outputs_probabilities() {
+        let lut = SigmoidLut::new(8, 8.0, QFormat::unsigned(8, 8));
+        let mvau = make_mvau(4, 2, HwActivation::Sigmoid(lut));
+        let out = mvau.process(&[63, 63, 63, 63]);
+        let f = QFormat::unsigned(8, 8);
+        for &o in &out {
+            let p = f.f64_from_raw(o);
+            assert!((0.0..=1.0).contains(&p), "sigmoid output {p} out of range");
+        }
+    }
+}

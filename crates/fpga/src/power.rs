@@ -1,0 +1,148 @@
+//! Activity-based power and energy model.
+//!
+//! `P = P_static + activity · f_MHz · (κ_cell·(LUT+FF) + κ_dsp·DSP + κ_bram·BRAM)`
+//!
+//! The coefficients are calibrated so that the three Table-2 designs of
+//! the paper land on their reported power at their reported utilisation
+//! (see DESIGN.md §5 for the calibration):
+//!
+//! - hybrid soft demapper (1107 LUT, 1042 FF, 1 DSP, 0 BRAM @150 MHz,
+//!   streaming) → 55 mW (paper: 55 mW);
+//! - AE inference (11343 LUT, 10895 FF, 352 DSP, 18.5 BRAM) →
+//!   ≈450 mW (paper: 453 mW);
+//! - AE training (19793 LUT, 19013 FF, 343 DSP, 89 BRAM, iterative
+//!   activity 0.75) → ≈520 mW (paper: 547 mW).
+//!
+//! The model is linear in resources, so our structurally-estimated
+//! utilisation produces slightly different absolute numbers than the
+//! paper's Vivado report — EXPERIMENTS.md tracks both.
+
+use crate::resources::ResourceUsage;
+use serde::{Deserialize, Serialize};
+
+/// Linear activity-based power model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static (leakage + clocking) power in watts.
+    pub static_w: f64,
+    /// Dynamic watts per (LUT+FF) cell per MHz at activity 1.
+    pub cell_w_per_mhz: f64,
+    /// Dynamic watts per DSP slice per MHz at activity 1.
+    pub dsp_w_per_mhz: f64,
+    /// Dynamic watts per BRAM36 per MHz at activity 1.
+    pub bram_w_per_mhz: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            static_w: 0.030,
+            cell_w_per_mhz: 7.76e-8,
+            dsp_w_per_mhz: 2.80e-6,
+            bram_w_per_mhz: 5.00e-6,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Total power in watts for a design.
+    ///
+    /// `activity` ∈ (0, 1]: fraction of cycles the datapath toggles
+    /// (1.0 for streaming pipelines, lower for iterative designs whose
+    /// stages idle while others work).
+    pub fn power_w(&self, usage: &ResourceUsage, clock_mhz: f64, activity: f64) -> f64 {
+        assert!(clock_mhz > 0.0);
+        assert!(activity > 0.0 && activity <= 1.0, "activity in (0,1]");
+        let cells = (usage.lut + usage.ff) as f64;
+        self.static_w
+            + activity
+                * clock_mhz
+                * (self.cell_w_per_mhz * cells
+                    + self.dsp_w_per_mhz * usage.dsp as f64
+                    + self.bram_w_per_mhz * usage.bram36)
+    }
+
+    /// Energy per processed symbol in joules given the steady-state
+    /// throughput.
+    pub fn energy_per_symbol_j(
+        &self,
+        usage: &ResourceUsage,
+        clock_mhz: f64,
+        activity: f64,
+        throughput_per_s: f64,
+    ) -> f64 {
+        assert!(throughput_per_s > 0.0);
+        self.power_w(usage, clock_mhz, activity) / throughput_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(lut: u64, ff: u64, dsp: u64, bram: f64) -> ResourceUsage {
+        ResourceUsage {
+            lut,
+            ff,
+            dsp,
+            bram36: bram,
+        }
+    }
+
+    #[test]
+    fn calibration_soft_demapper() {
+        let m = PowerModel::default();
+        let p = m.power_w(&usage(1107, 1042, 1, 0.0), 150.0, 1.0);
+        assert!((p - 0.055).abs() < 0.005, "demapper power {p}");
+    }
+
+    #[test]
+    fn calibration_ae_inference() {
+        let m = PowerModel::default();
+        let p = m.power_w(&usage(11343, 10895, 352, 18.5), 150.0, 1.0);
+        assert!((p - 0.453).abs() < 0.03, "inference power {p}");
+    }
+
+    #[test]
+    fn calibration_ae_training() {
+        let m = PowerModel::default();
+        let p = m.power_w(&usage(19793, 19013, 343, 89.0), 150.0, 0.75);
+        assert!((p - 0.547).abs() < 0.06, "training power {p}");
+    }
+
+    #[test]
+    fn paper_power_ratio_reproduced() {
+        // The headline claim: ~10× lower power for the hybrid demapper.
+        let m = PowerModel::default();
+        let demap = m.power_w(&usage(1107, 1042, 1, 0.0), 150.0, 1.0);
+        let infer = m.power_w(&usage(11343, 10895, 352, 18.5), 150.0, 1.0);
+        let ratio = infer / demap;
+        assert!(ratio > 7.0 && ratio < 11.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_per_symbol() {
+        let m = PowerModel::default();
+        // Paper: demapper 55 mW at 75 Msym/s → 7.33e-10 J/symbol.
+        let e = m.energy_per_symbol_j(&usage(1107, 1042, 1, 0.0), 150.0, 1.0, 7.5e7);
+        assert!((e - 7.33e-10).abs() < 1e-10, "energy {e}");
+    }
+
+    #[test]
+    fn monotone_in_everything() {
+        let m = PowerModel::default();
+        let base = m.power_w(&usage(1000, 1000, 10, 1.0), 150.0, 1.0);
+        assert!(m.power_w(&usage(2000, 1000, 10, 1.0), 150.0, 1.0) > base);
+        assert!(m.power_w(&usage(1000, 1000, 20, 1.0), 150.0, 1.0) > base);
+        assert!(m.power_w(&usage(1000, 1000, 10, 5.0), 150.0, 1.0) > base);
+        assert!(m.power_w(&usage(1000, 1000, 10, 1.0), 300.0, 1.0) > base);
+        assert!(m.power_w(&usage(1000, 1000, 10, 1.0), 150.0, 0.5) < base);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity in (0,1]")]
+    fn rejects_bad_activity() {
+        let m = PowerModel::default();
+        let _ = m.power_w(&usage(1, 1, 0, 0.0), 100.0, 1.5);
+    }
+}

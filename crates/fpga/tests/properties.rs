@@ -1,0 +1,176 @@
+//! Property-based tests of the FPGA substrate: fold invariance,
+//! quantisation fidelity, timing and resource monotonicity.
+
+use hybridem_fixed::{QFormat, Rounding};
+use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
+use hybridem_fpga::pipeline::{ExecutionMode, PipelineTiming, StageTiming};
+use hybridem_fpga::power::PowerModel;
+use hybridem_fpga::resources::ResourceUsage;
+use hybridem_fpga::sigmoid_lut::SigmoidLut;
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+fn random_dense(out_dim: usize, in_dim: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut w = Matrix::zeros(out_dim, in_dim);
+    for v in w.as_mut_slice() {
+        *v = rng.normal_f32() * 0.4;
+    }
+    let mut b = Matrix::zeros(1, out_dim);
+    for v in b.as_mut_slice() {
+        *v = rng.normal_f32() * 0.2;
+    }
+    (w, b)
+}
+
+fn divisors(n: usize) -> Vec<usize> {
+    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mvau_fold_invariance_random_layers(
+        in_pow in 1usize..5, out_pow in 1usize..5, seed in any::<u64>()
+    ) {
+        let in_dim = 1 << in_pow;
+        let out_dim = 1 << out_pow;
+        let fmt = QFormat::signed(8, 6);
+        let (w, b) = random_dense(out_dim, in_dim, seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 1);
+        let input: Vec<i64> = (0..in_dim)
+            .map(|_| fmt.raw_from_f64(rng.normal_f64() * 0.5, Rounding::Nearest))
+            .collect();
+
+        let reference = {
+            let cfg = MvauConfig::full_parallel(in_dim, out_dim, fmt, fmt, fmt, false);
+            Mvau::from_dense(cfg, &w, &b, HwActivation::Relu).process(&input)
+        };
+        for &simd in &divisors(in_dim) {
+            for &pe in &divisors(out_dim) {
+                let cfg = MvauConfig {
+                    in_dim, out_dim, simd, pe,
+                    weight_format: fmt, in_format: fmt, out_format: fmt,
+                    writable_weights: false,
+                };
+                let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Relu);
+                prop_assert_eq!(m.process(&input), reference.clone(),
+                    "simd={} pe={}", simd, pe);
+            }
+        }
+    }
+
+    #[test]
+    fn mvau_matches_float_within_quantisation_bound(seed in any::<u64>()) {
+        let fmt = QFormat::signed(10, 7);
+        let (w, b) = random_dense(8, 8, seed);
+        let cfg = MvauConfig::full_parallel(8, 8, fmt, fmt, QFormat::signed(12, 8), false);
+        let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Linear);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 2);
+        let xs: Vec<f64> = (0..8).map(|_| rng.normal_f64() * 0.5).collect();
+        let raw: Vec<i64> = xs.iter().map(|&x| fmt.raw_from_f64(x, Rounding::Nearest)).collect();
+        let out = m.process(&raw);
+        // Float reference on the quantised weights/inputs.
+        let wq = m.effective_weights();
+        for o in 0..8 {
+            let mut acc = b[(0, o)] as f64;
+            // Bias is quantised to the accumulator format: allow its lsb.
+            for i in 0..8 {
+                acc += wq[(o, i)] as f64 * fmt.f64_from_raw(raw[i]);
+            }
+            let got = QFormat::signed(12, 8).f64_from_raw(out[o]);
+            let tol = QFormat::signed(12, 8).resolution()
+                + m.config().acc_format().resolution();
+            prop_assert!((got - acc).abs() <= tol + 1e-9,
+                "output {}: {} vs {}", o, got, acc);
+        }
+    }
+
+    #[test]
+    fn dsp_ii_product_is_constant(in_pow in 2usize..5, out_pow in 2usize..5) {
+        // DSP × II = MAC count for every folding: the resource/time
+        // trade-off is exact.
+        let in_dim = 1 << in_pow;
+        let out_dim = 1 << out_pow;
+        let fmt = QFormat::signed(8, 6);
+        let (w, b) = random_dense(out_dim, in_dim, 3);
+        let macs = (in_dim * out_dim) as u64;
+        for &simd in &divisors(in_dim) {
+            for &pe in &divisors(out_dim) {
+                let cfg = MvauConfig {
+                    in_dim, out_dim, simd, pe,
+                    weight_format: fmt, in_format: fmt, out_format: fmt,
+                    writable_weights: false,
+                };
+                let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Relu);
+                prop_assert_eq!(m.resources().dsp * m.config().ii_cycles(), macs);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_simulation_matches_analysis(
+        stages in proptest::collection::vec((1u64..6, 1u64..12), 1..6),
+        iterative in any::<bool>(),
+    ) {
+        let stages: Vec<StageTiming> = stages
+            .into_iter()
+            .map(|(ii, extra)| StageTiming { ii, depth: ii + extra })
+            .collect();
+        let mode = if iterative { ExecutionMode::Iterative } else { ExecutionMode::Pipelined };
+        let p = PipelineTiming::new(stages, mode, 100.0);
+        let trace = p.simulate(64);
+        prop_assert_eq!(trace.latency_cycles, p.total_depth_cycles());
+        prop_assert_eq!(trace.ii_cycles, p.ii_cycles());
+        // Completion times strictly increase.
+        for w in trace.finish_cycles.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_resources(lut in 0u64..50_000, ff in 0u64..50_000,
+                                   dsp in 0u64..360, bram in 0.0f64..200.0) {
+        let m = PowerModel::default();
+        let base = ResourceUsage { lut, ff, dsp, bram36: bram };
+        let p0 = m.power_w(&base, 150.0, 1.0);
+        let bigger = ResourceUsage { lut: lut + 100, ff, dsp, bram36: bram };
+        prop_assert!(m.power_w(&bigger, 150.0, 1.0) > p0);
+        prop_assert!(p0 >= m.static_w);
+        // Energy scales inversely with throughput.
+        let e1 = m.energy_per_symbol_j(&base, 150.0, 1.0, 1e7);
+        let e2 = m.energy_per_symbol_j(&base, 150.0, 1.0, 2e7);
+        prop_assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_lut_error_bound_random_configs(addr in 5u32..12, range in 2.0f64..12.0) {
+        let lut = SigmoidLut::new(addr, range, QFormat::unsigned(10, 10));
+        let bound = lut.error_bound();
+        let mut x = -range * 1.5;
+        while x < range * 1.5 {
+            let approx = lut.out_format.f64_from_raw(lut.lookup_f64(x));
+            let exact = hybridem_mathkit::special::sigmoid(x);
+            prop_assert!((approx - exact).abs() <= bound,
+                "x={}: {} vs {} bound {}", x, approx, exact, bound);
+            x += range / 37.0;
+        }
+    }
+
+    #[test]
+    fn relu_mvau_outputs_nonnegative(seed in any::<u64>()) {
+        let fmt = QFormat::signed(8, 5);
+        let (w, b) = random_dense(6, 4, seed);
+        let cfg = MvauConfig::full_parallel(4, 6, fmt, fmt, fmt, false);
+        let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Relu);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 3);
+        let input: Vec<i64> = (0..4)
+            .map(|_| fmt.raw_from_f64(rng.normal_f64(), Rounding::Nearest))
+            .collect();
+        for &o in &m.process(&input) {
+            prop_assert!(o >= 0);
+        }
+    }
+}

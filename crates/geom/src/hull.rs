@@ -1,0 +1,134 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use hybridem_mathkit::vec2::Vec2;
+
+/// Convex hull of a point set, counter-clockwise, starting from the
+/// lexicographically smallest point. Collinear boundary points are
+/// dropped. Degenerate inputs (0–2 points, all collinear) return what
+/// remains after deduplication.
+pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
+    let mut pts: Vec<Vec2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let cross = |o: Vec2, a: Vec2, b: Vec2| (a - o).cross(b - o);
+    let mut hull: Vec<Vec2> = Vec::with_capacity(2 * n);
+    // Lower chain.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper chain.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    hull
+}
+
+/// True if `p` lies inside or on the boundary of a convex CCW polygon.
+pub fn convex_contains(hull: &[Vec2], p: Vec2, eps: f64) -> bool {
+    if hull.len() < 3 {
+        return false;
+    }
+    for i in 0..hull.len() {
+        let a = hull[i];
+        let b = hull[(i + 1) % hull.len()];
+        if (b - a).cross(p - a) < -eps {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(0.5, 0.5),
+            Vec2::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // CCW from the lexicographic minimum (0,0).
+        assert_eq!(hull[0], Vec2::new(0.0, 0.0));
+        assert_eq!(hull[1], Vec2::new(1.0, 0.0));
+        assert_eq!(hull[2], Vec2::new(1.0, 1.0));
+        assert_eq!(hull[3], Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn collinear_points_collapse() {
+        let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 2.0 * i as f64)).collect();
+        let hull = convex_hull(&pts);
+        // Degenerate: endpoints only (monotone chain keeps the two
+        // extremes of the line segment).
+        assert!(hull.len() <= 2, "collinear set must not form an area: {hull:?}");
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let pts = vec![Vec2::new(1.0, 1.0); 10];
+        assert_eq!(convex_hull(&pts).len(), 1);
+    }
+
+    #[test]
+    fn hull_is_ccw_and_contains_all_points() {
+        // Deterministic pseudo-random points.
+        let mut pts = Vec::new();
+        let mut x = 0.123f64;
+        for _ in 0..100 {
+            x = (x * 97.13 + 0.417).fract();
+            let y = (x * 57.77 + 0.1).fract();
+            pts.push(Vec2::new(x * 4.0 - 2.0, y * 4.0 - 2.0));
+        }
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        // CCW: positive signed area.
+        let mut area2 = 0.0;
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            area2 += a.cross(b);
+        }
+        assert!(area2 > 0.0);
+        for &p in &pts {
+            assert!(convex_contains(&hull, p, 1e-9), "{p:?} outside hull");
+        }
+    }
+
+    #[test]
+    fn contains_rejects_outside_points() {
+        let hull = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ];
+        assert!(convex_contains(&hull, Vec2::new(1.0, 1.0), 1e-12));
+        assert!(convex_contains(&hull, Vec2::new(0.0, 0.0), 1e-12));
+        assert!(!convex_contains(&hull, Vec2::new(3.0, 1.0), 1e-12));
+        assert!(!convex_contains(&hull, Vec2::new(-0.1, 1.0), 1e-12));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hybridem-geom
+//!
+//! Computational geometry for decision-region analysis.
+//!
+//! The paper's extraction step samples the demapper ANN over the I/Q
+//! plane, interprets the resulting label map as a Voronoi diagram and
+//! computes one centroid per cell. This crate supplies the geometric
+//! machinery:
+//!
+//! - [`grid::LabelGrid`] — a rectangular map of symbol labels over a
+//!   window of the plane (the sampled decision regions);
+//! - [`regions`] — connected components, per-label masses and mass
+//!   centroids of a label grid;
+//! - [`marching`] — marching-squares boundary extraction of a label's
+//!   region as polygons;
+//! - [`polygon`] — areas, vertex centroids, point-in-polygon and
+//!   Sutherland–Hodgman clipping;
+//! - [`hull`] — Andrew monotone-chain convex hulls;
+//! - [`voronoi`] — exact Voronoi cells of a point set inside a bounding
+//!   box via half-plane clipping, used to validate that extracted
+//!   regions behave like a Voronoi partition.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod grid;
+pub mod hull;
+pub mod marching;
+pub mod polygon;
+pub mod regions;
+pub mod voronoi;
+
+pub use components::label_components;
+pub use grid::LabelGrid;
+pub use hull::convex_hull;
+pub use polygon::Polygon;
+pub use voronoi::voronoi_cells;

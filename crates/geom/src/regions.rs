@@ -1,0 +1,166 @@
+//! Region statistics over label grids.
+//!
+//! Computes per-label masses and mass centroids (the robust centroid
+//! extractor) and connected components (to detect fragmented decision
+//! regions, which indicate an under-trained demapper or too-coarse a
+//! sampling grid).
+
+use crate::grid::LabelGrid;
+use hybridem_mathkit::vec2::Vec2;
+
+/// Per-label statistics of a label grid.
+#[derive(Clone, Debug)]
+pub struct RegionStats {
+    /// The label this entry describes.
+    pub label: u16,
+    /// Number of grid cells carrying the label.
+    pub cells: usize,
+    /// Area covered (cells × cell area).
+    pub area: f64,
+    /// Mass centroid: mean of the centres of all cells with this label.
+    pub centroid: Vec2,
+    /// Number of 4-connected components forming the region.
+    pub components: usize,
+}
+
+/// Computes [`RegionStats`] for every label present in the grid,
+/// ordered by label.
+pub fn region_stats(grid: &LabelGrid) -> Vec<RegionStats> {
+    let labels = grid.distinct_labels();
+    let mut idx_of = std::collections::BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        idx_of.insert(l, i);
+    }
+    let mut cells = vec![0usize; labels.len()];
+    let mut sums = vec![Vec2::zero(); labels.len()];
+    for iy in 0..grid.ny() {
+        for ix in 0..grid.nx() {
+            let i = idx_of[&grid.label(ix, iy)];
+            cells[i] += 1;
+            sums[i] += grid.center(ix, iy);
+        }
+    }
+    let comps = connected_components(grid);
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &label)| RegionStats {
+            label,
+            cells: cells[i],
+            area: cells[i] as f64 * grid.cell_area(),
+            centroid: sums[i] / cells[i].max(1) as f64,
+            components: comps[i],
+        })
+        .collect()
+}
+
+/// Number of 4-connected components per distinct label (in label
+/// order), via BFS flood fill.
+pub fn connected_components(grid: &LabelGrid) -> Vec<usize> {
+    let labels = grid.distinct_labels();
+    let mut idx_of = std::collections::BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        idx_of.insert(l, i);
+    }
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let mut visited = vec![false; nx * ny];
+    let mut counts = vec![0usize; labels.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let start = iy * nx + ix;
+            if visited[start] {
+                continue;
+            }
+            let label = grid.label(ix, iy);
+            counts[idx_of[&label]] += 1;
+            visited[start] = true;
+            queue.push_back((ix, iy));
+            while let Some((cx, cy)) = queue.pop_front() {
+                let neighbours = [
+                    (cx.wrapping_sub(1), cy),
+                    (cx + 1, cy),
+                    (cx, cy.wrapping_sub(1)),
+                    (cx, cy + 1),
+                ];
+                for (vx, vy) in neighbours {
+                    if vx < nx && vy < ny {
+                        let vi = vy * nx + vx;
+                        if !visited[vi] && grid.label(vx, vy) == label {
+                            visited[vi] = true;
+                            queue.push_back((vx, vy));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Window;
+
+    fn quadrant_grid(n: usize) -> LabelGrid {
+        LabelGrid::sample(Window::square(1.0), n, n, |p| {
+            match (p.x >= 0.0, p.y >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            }
+        })
+    }
+
+    #[test]
+    fn quadrant_stats() {
+        let g = quadrant_grid(32);
+        let stats = region_stats(&g);
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert_eq!(s.cells, 256);
+            assert!((s.area - 1.0).abs() < 1e-12);
+            assert_eq!(s.components, 1);
+            // Quadrant mass centroids at (±0.5, ±0.5).
+            assert!((s.centroid.x.abs() - 0.5).abs() < 1e-9, "{:?}", s.centroid);
+            assert!((s.centroid.y.abs() - 0.5).abs() < 1e-9);
+        }
+        // Check the sign pattern label→quadrant.
+        assert!(stats[0].centroid.x > 0.0 && stats[0].centroid.y > 0.0);
+        assert!(stats[1].centroid.x < 0.0 && stats[1].centroid.y > 0.0);
+        assert!(stats[2].centroid.x < 0.0 && stats[2].centroid.y < 0.0);
+        assert!(stats[3].centroid.x > 0.0 && stats[3].centroid.y < 0.0);
+    }
+
+    #[test]
+    fn fragmented_region_detected() {
+        // Label 1 in two opposite corners: 2 components.
+        let g = LabelGrid::sample(Window::square(1.0), 16, 16, |p| {
+            if (p.x > 0.5 && p.y > 0.5) || (p.x < -0.5 && p.y < -0.5) {
+                1
+            } else {
+                0
+            }
+        });
+        let comps = connected_components(&g);
+        let labels = g.distinct_labels();
+        let idx1 = labels.iter().position(|&l| l == 1).unwrap();
+        assert_eq!(comps[idx1], 2);
+        let idx0 = labels.iter().position(|&l| l == 0).unwrap();
+        assert_eq!(comps[idx0], 1);
+    }
+
+    #[test]
+    fn single_label_grid() {
+        let g = LabelGrid::sample(Window::square(1.0), 8, 8, |_| 7);
+        let stats = region_stats(&g);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].label, 7);
+        assert_eq!(stats[0].cells, 64);
+        assert_eq!(stats[0].components, 1);
+        // Centroid at the window centre.
+        assert!(stats[0].centroid.norm() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Voronoi cells by half-plane clipping.
+//!
+//! For the ≤256 sites of a constellation, the O(n²) half-plane
+//! construction is exact, simple and fast: the cell of site `s_i`
+//! inside a bounding box is the box clipped against the bisector
+//! half-plane of every other site. Used to (a) validate that extracted
+//! decision regions behave like a Voronoi partition and (b) re-decide
+//! labels from extracted centroids.
+
+use crate::polygon::Polygon;
+use hybridem_mathkit::vec2::Vec2;
+
+/// Computes the Voronoi cell of every site inside the rectangle
+/// `[x0,x1] × [y0,y1]`. A site strictly outside the box may have an
+/// empty cell (`None`). Duplicate sites split nothing — the first
+/// occurrence wins the shared cell, later duplicates return `None`.
+pub fn voronoi_cells(
+    sites: &[Vec2],
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+) -> Vec<Option<Polygon>> {
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut cell = Polygon::rect(x0, y0, x1, y1);
+            for (j, &t) in sites.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = t - s;
+                if d.norm_sqr() == 0.0 {
+                    // Duplicate site: cede the cell to the earlier copy.
+                    if j < i {
+                        return None;
+                    }
+                    continue;
+                }
+                // Keep {x : ‖x−s‖ ≤ ‖x−t‖} ⇔ 2(t−s)·x ≤ ‖t‖²−‖s‖².
+                let c = t.norm_sqr() - s.norm_sqr();
+                match cell.clip_half_plane(d * 2.0, c) {
+                    Some(p) => cell = p,
+                    None => return None,
+                }
+            }
+            Some(cell)
+        })
+        .collect()
+}
+
+/// Index of the nearest site to `p` (ties to the lowest index).
+pub fn nearest_site(sites: &[Vec2], p: Vec2) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &s) in sites.iter().enumerate() {
+        let d = p.dist_sqr(s);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sites_split_the_box() {
+        let sites = [Vec2::new(-1.0, 0.0), Vec2::new(1.0, 0.0)];
+        let cells = voronoi_cells(&sites, -2.0, -2.0, 2.0, 2.0);
+        let a = cells[0].as_ref().unwrap();
+        let b = cells[1].as_ref().unwrap();
+        assert!((a.area() - 8.0).abs() < 1e-9);
+        assert!((b.area() - 8.0).abs() < 1e-9);
+        assert!((a.centroid().x + 1.0).abs() < 1e-9);
+        assert!((b.centroid().x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cells_tile_the_box() {
+        // 4×4 grid of sites (a 16-QAM layout).
+        let mut sites = Vec::new();
+        for i in 0..4 {
+            for q in 0..4 {
+                sites.push(Vec2::new(
+                    (2 * i as i64 - 3) as f64,
+                    (2 * q as i64 - 3) as f64,
+                ));
+            }
+        }
+        let cells = voronoi_cells(&sites, -4.0, -4.0, 4.0, 4.0);
+        let total: f64 = cells.iter().flatten().map(|c| c.area()).sum();
+        assert!((total - 64.0).abs() < 1e-6, "cells must tile: {total}");
+        // Interior cells are 2×2 squares with the site at the centre.
+        let c5 = cells[5].as_ref().unwrap(); // site (−1,−1): interior
+        assert!((c5.area() - 4.0).abs() < 1e-9);
+        let cc = c5.centroid();
+        assert!((cc.x + 1.0).abs() < 1e-9 && (cc.y + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_cell_point_is_nearest_to_its_site() {
+        // Deterministic scattered sites.
+        let mut sites = Vec::new();
+        let mut x = 0.37f64;
+        for _ in 0..12 {
+            x = (x * 83.7 + 0.21).fract();
+            let y = (x * 61.3 + 0.43).fract();
+            sites.push(Vec2::new(x * 2.0 - 1.0, y * 2.0 - 1.0));
+        }
+        let cells = voronoi_cells(&sites, -1.5, -1.5, 1.5, 1.5);
+        for (i, cell) in cells.iter().enumerate() {
+            let cell = cell.as_ref().expect("non-empty cell for interior site");
+            // The centroid of a convex cell lies in the cell; check the
+            // nearest-site property there and at each vertex pulled
+            // slightly toward the site.
+            let c = cell.centroid();
+            assert_eq!(nearest_site(&sites, c), i, "centroid of cell {i}");
+            for &v in cell.vertices() {
+                let inner = v.lerp(sites[i], 1e-6);
+                let d_own = inner.dist_sqr(sites[i]);
+                for (j, &s) in sites.iter().enumerate() {
+                    if j != i {
+                        assert!(
+                            d_own <= inner.dist_sqr(s) + 1e-9,
+                            "vertex of cell {i} closer to site {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_handled() {
+        let sites = [Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)];
+        let cells = voronoi_cells(&sites, -2.0, -2.0, 2.0, 2.0);
+        assert!(cells[0].is_some());
+        assert!(cells[1].is_none(), "duplicate cedes to the first copy");
+        assert!(cells[2].is_some());
+    }
+
+    #[test]
+    fn far_outside_site_gets_empty_cell() {
+        let sites = [Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)];
+        let cells = voronoi_cells(&sites, -1.0, -1.0, 1.0, 1.0);
+        assert!(cells[0].is_some());
+        assert!(cells[1].is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # hybridem-mathkit
+//!
+//! Numeric substrate shared by the whole `hybridem` workspace:
+//!
+//! - [`real::Real`] — a minimal float abstraction over `f32`/`f64`;
+//! - [`complex::Complex`] — complex numbers (the I/Q plane of the
+//!   communication system);
+//! - [`vec2::Vec2`] — 2-D points used by the geometry crate;
+//! - [`matrix::Matrix`] — dense row-major matrices backing the neural
+//!   network library;
+//! - [`stats`] — streaming statistics, binomial confidence intervals for
+//!   Monte-Carlo bit-error-rate estimation, histograms;
+//! - [`special`] — `erf`/`erfc`/Gaussian Q function (closed-form BER
+//!   baselines), numerically stable sigmoid/softplus/log-sum-exp;
+//! - [`rng`] — deterministic, splittable random number generation
+//!   (SplitMix64 seeding, xoshiro256++ streams, Gaussian sampling).
+//!
+//! Everything here is dependency-free (except `serde` derives) and
+//! deterministic so that higher-level experiments are exactly
+//! reproducible across thread counts and platforms.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod linsolve;
+pub mod matrix;
+pub mod real;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod vec2;
+
+pub use complex::{Complex, C32, C64};
+pub use matrix::Matrix;
+pub use real::Real;
+pub use rng::{Rng64, SplitMix64, Xoshiro256pp};
+pub use vec2::Vec2;

@@ -1,0 +1,417 @@
+//! Dense row-major matrices.
+//!
+//! This is the storage type behind the neural-network library: a batch
+//! of activations is a `(batch × features)` matrix, a dense layer's
+//! weights are `(out × in)`. Only the operations the workspace actually
+//! needs are provided, implemented with cache-friendly loop orders (the
+//! `ikj` matmul) so that training the paper's autoencoder is fast enough
+//! to run inside unit tests.
+
+use crate::real::Real;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Matrix<T> {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds from nested rows (convenience for tests).
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major backing slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrow of one row.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise binary combination into a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Self, mut f: impl FnMut(T, T) -> T) -> Self {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += k * other` (axpy), reusing the allocation.
+    pub fn axpy(&mut self, k: T, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Scales all elements in place.
+    pub fn scale_inplace(&mut self, k: T) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Matrix product `self · other` with the cache-friendly `ikj`
+    /// loop order.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product writing into a pre-allocated output (hot path of
+    /// the training loop — avoids reallocating every step).
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape");
+        out.fill_zero();
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == T::ZERO {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_transpose_b(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b dimension mismatch"
+        );
+        let mut out = Self::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = T::ZERO;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose (the weight
+    /// gradient `xᵀ·δ` of a dense layer).
+    pub fn transpose_a_matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "transpose_a_matmul dimension mismatch");
+        let mut out = Self::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == T::ZERO {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum over rows, producing a length-`cols` vector (bias gradients).
+    pub fn col_sums(&self) -> Vec<T> {
+        let mut out = vec![T::ZERO; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> T {
+        let mut acc = T::ZERO;
+        for &v in &self.data {
+            acc += v * v;
+        }
+        acc.sqrt()
+    }
+
+    /// Maximum absolute element (zero for an empty matrix).
+    pub fn max_abs(&self) -> T {
+        let mut m = T::ZERO;
+        for &v in &self.data {
+            m = m.maximum(v.abs());
+        }
+        m
+    }
+
+    /// Consumes the matrix, returning the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Real> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Real> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(Matrix::<f64>::eye(2)[(1, 1)], 1.0);
+        assert_eq!(Matrix::<f64>::eye(2)[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn from_vec_length_checked() {
+        let _ = Matrix::<f32>::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::<f64>::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 4.0]]);
+        let i3 = Matrix::eye(3);
+        assert_eq!(a.matmul(&i3), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::<f32>::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn fused_transposed_products_match_explicit() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::<f64>::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0], &[0.0, 1.0]]);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+        assert_eq!(a.transpose_a_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::<f64>::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::<f64>::from_rows(&[&[2.0, -2.0]]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 0.0]]));
+        a.scale_inplace(2.0);
+        assert_eq!(a, Matrix::from_rows(&[&[4.0, 0.0]]));
+    }
+
+    #[test]
+    fn col_sums_and_norms() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col_sums(), vec![4.0, 2.0]);
+        assert!((a.frobenius_norm() - (1.0f64 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(a.map(|x| x.abs()), Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = Matrix::<f64>::from_rows(&[&[3.0, 1.0]]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y), Matrix::from_rows(&[&[4.0, -1.0]]));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::<f64>::from_rows(&[&[3.0], &[4.0]]);
+        let mut out = Matrix::full(1, 1, 99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out[(0, 0)], 11.0);
+    }
+}

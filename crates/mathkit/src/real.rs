@@ -1,0 +1,189 @@
+//! Minimal floating-point abstraction.
+//!
+//! The workspace uses `f32` for neural-network compute (matches the
+//! paper's PyTorch default and the FPGA quantisation source) and `f64`
+//! for geometry and statistics accumulation. [`Real`] is the small trait
+//! that lets shared containers ([`crate::matrix::Matrix`],
+//! [`crate::complex::Complex`]) serve both.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable by the generic numeric containers.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half.
+    const HALF: Self;
+    /// Two.
+    const TWO: Self;
+    /// The circle constant π.
+    const PI: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossless widening to `f64` (lossy for exotic `f64` values only).
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Conversion from `usize` (exact for small values).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// `self^n` for integer `n`.
+    fn powi(self, n: i32) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Two-argument arctangent.
+    fn atan2(self, other: Self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Maximum of two values (NaN-propagating like `f64::max` is not;
+    /// this follows the std semantics of preferring the non-NaN input).
+    fn maximum(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn minimum(self, other: Self) -> Self;
+    /// True if the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $pi:expr, $eps:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const HALF: Self = 0.5;
+            const TWO: Self = 2.0;
+            const PI: Self = $pi;
+            const EPSILON: Self = $eps;
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn atan2(self, other: Self) -> Self {
+                <$t>::atan2(self, other)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32, std::f32::consts::PI, f32::EPSILON);
+impl_real!(f64, std::f64::consts::PI, f64::EPSILON);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_smoke<T: Real>() {
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert!((T::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
+        assert_eq!(T::from_f64(2.0), T::TWO);
+        assert_eq!(T::from_usize(2), T::TWO);
+        assert!((T::TWO.sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert_eq!((-T::ONE).abs(), T::ONE);
+        assert_eq!(T::ONE.maximum(T::TWO), T::TWO);
+        assert_eq!(T::ONE.minimum(T::TWO), T::ONE);
+        assert!(T::ONE.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+    }
+
+    #[test]
+    fn f32_impl() {
+        generic_smoke::<f32>();
+    }
+
+    #[test]
+    fn f64_impl() {
+        generic_smoke::<f64>();
+    }
+
+    #[test]
+    fn trig_round_trip() {
+        let x = 0.3_f64;
+        assert!((x.sin().atan2(x.cos()) - x).abs() < 1e-12);
+    }
+}

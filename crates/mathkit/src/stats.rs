@@ -1,0 +1,326 @@
+//! Streaming statistics and Monte-Carlo error counters.
+//!
+//! BER points in the paper's Fig. 2 / Table 1 are binomial estimates;
+//! [`ErrorCounter`] tracks them together with a Wilson confidence
+//! interval so experiments can report how trustworthy each point is and
+//! tests can assert against closed-form theory without flakiness.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction), Chan et al.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += d * other.n as f64 / n as f64;
+        self.n = n;
+    }
+}
+
+/// Binomial error counter with Wilson-score confidence intervals —
+/// the unit of account of every BER simulation in the workspace.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ErrorCounter {
+    errors: u64,
+    trials: u64,
+}
+
+impl ErrorCounter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `errors` errors out of `trials` trials.
+    pub fn record(&mut self, errors: u64, trials: u64) {
+        self.errors += errors;
+        self.trials += trials;
+    }
+
+    /// Records a single binary outcome.
+    pub fn push(&mut self, error: bool) {
+        self.record(u64::from(error), 1);
+    }
+
+    /// Total error count.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Total trial count.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate of the error rate (0 when no trials ran).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson score interval at `z` standard normal quantiles
+    /// (z = 1.96 ⇒ 95 %). Well-behaved even at zero observed errors,
+    /// unlike the naive normal interval.
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// True if `rate` lies inside the Wilson interval at the given `z`.
+    pub fn consistent_with(&self, rate: f64, z: f64) -> bool {
+        let (lo, hi) = self.wilson_interval(z);
+        rate >= lo && rate <= hi
+    }
+
+    /// Merges another counter (parallel reduction).
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.errors += other.errors;
+        self.trials += other.trials;
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)`; out-of-range samples are clamped
+/// into the edge bins so mass is never silently dropped.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram with `nbins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0 && hi > lo, "invalid histogram range");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            count: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        let n = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64) as isize).clamp(0, n as isize - 1) as usize;
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Empirical probability mass of bin `i`.
+    pub fn mass(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.population_variance() - 4.0).abs() < 1e-12);
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let empty = Welford::new();
+        let mut b = a.clone();
+        b.merge(&empty);
+        assert_eq!(b.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn error_counter_rate_and_merge() {
+        let mut a = ErrorCounter::new();
+        a.record(3, 100);
+        let mut b = ErrorCounter::new();
+        b.record(7, 900);
+        a.merge(&b);
+        assert_eq!(a.errors(), 10);
+        assert_eq!(a.trials(), 1000);
+        assert!((a.rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let mut c = ErrorCounter::new();
+        c.record(13, 1000);
+        let (lo, hi) = c.wilson_interval(1.96);
+        assert!(lo < c.rate() && c.rate() < hi);
+        assert!(lo > 0.0 && hi < 1.0);
+        assert!(c.consistent_with(0.013, 1.96));
+        assert!(!c.consistent_with(0.5, 1.96));
+    }
+
+    #[test]
+    fn wilson_interval_zero_errors_is_proper() {
+        let mut c = ErrorCounter::new();
+        c.record(0, 1000);
+        let (lo, hi) = c.wilson_interval(1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01);
+        // No trials at all: the maximally uninformative interval.
+        assert_eq!(ErrorCounter::new().wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for &x in &[0.1, 0.3, 0.6, 0.9, -5.0, 5.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.mass(0) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

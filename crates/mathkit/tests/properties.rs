@@ -1,0 +1,182 @@
+//! Property-based tests of the numeric substrate.
+
+use hybridem_mathkit::complex::C64;
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::{Rng64, SplitMix64, Xoshiro256pp};
+use hybridem_mathkit::special::{log_sum_exp, max_log, qfunc, sigmoid};
+use hybridem_mathkit::stats::{ErrorCounter, Welford};
+use hybridem_mathkit::vec2::Vec2;
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e3f64..1e3).prop_filter("nonzero-ish", |v| v.abs() > 1e-9)
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix<f64>> {
+    (1usize..6, 1usize..6)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-100.0f64..100.0, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data))
+        })
+}
+
+proptest! {
+    #[test]
+    fn complex_field_axioms(ar in finite_f64(), ai in finite_f64(),
+                            br in finite_f64(), bi in finite_f64()) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        // Commutativity.
+        prop_assert!((a + b - (b + a)).abs() < 1e-9);
+        prop_assert!((a * b - (b * a)).abs() < 1e-6);
+        // Multiplicative inverse (b ≠ 0 by strategy).
+        let recip = C64::one() / b;
+        prop_assert!((b * recip - C64::one()).abs() < 1e-9);
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * a.abs() * b.abs() + 1e-9);
+    }
+
+    #[test]
+    fn complex_rotation_is_isometric(r in finite_f64(), i in finite_f64(),
+                                     theta in -10.0f64..10.0) {
+        let z = C64::new(r, i);
+        let w = z.rotate(theta);
+        prop_assert!((w.abs() - z.abs()).abs() < 1e-6 * z.abs().max(1.0));
+        // Rotating back recovers the original.
+        let back = w.rotate(-theta);
+        prop_assert!((back - z).abs() < 1e-6 * z.abs().max(1.0));
+    }
+
+    #[test]
+    fn matrix_transpose_respects_products(a in small_matrix(), b in small_matrix()) {
+        prop_assume!(a.cols() == b.rows());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        // Tolerance scales with the summation magnitude, not the result
+        // (entries up to 100 can cancel to a tiny output).
+        let tol = 1e-10 * a.max_abs() * b.max_abs() * a.cols() as f64 + 1e-12;
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_axpy(a in small_matrix(), k in -10.0f64..10.0) {
+        // (A + kA)·I = (1+k)·A
+        let n = a.cols();
+        let eye = Matrix::eye(n);
+        let mut a2 = a.clone();
+        a2.axpy(k, &a);
+        let prod = a2.matmul(&eye);
+        for (x, y) in prod.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - (1.0 + k) * y).abs() < 1e-6 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn vec2_cross_antisymmetric(ax in finite_f64(), ay in finite_f64(),
+                                bx in finite_f64(), by in finite_f64()) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        prop_assert!((a.cross(b) + b.cross(a)).abs() < 1e-6 * (a.norm() * b.norm()).max(1.0));
+        // Cauchy–Schwarz: |a·b| ≤ |a||b|.
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_monotone_and_bounded(x in -700.0f64..700.0, dx in 0.001f64..10.0) {
+        let a = sigmoid(x);
+        let b = sigmoid(x + dx);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn qfunc_monotone_decreasing(x in -6.0f64..6.0, dx in 0.01f64..3.0) {
+        prop_assert!(qfunc(x + dx) < qfunc(x));
+        prop_assert!((0.0..=1.0).contains(&qfunc(x)));
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0f64..50.0, 1..10)) {
+        let lse = log_sum_exp(&xs);
+        let ml = max_log(&xs);
+        // max ≤ LSE ≤ max + ln n.
+        prop_assert!(lse >= ml - 1e-9);
+        prop_assert!(lse <= ml + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e3f64..1e3, 2..50)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-6 * var.max(1.0));
+    }
+
+    #[test]
+    fn welford_merge_any_split(xs in proptest::collection::vec(-100.0f64..100.0, 2..40),
+                               split in 0usize..40) {
+        let split = split.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn wilson_interval_contains_rate(errors in 0u64..1000, extra in 0u64..100_000) {
+        let trials = errors + extra;
+        prop_assume!(trials > 0);
+        let mut c = ErrorCounter::new();
+        c.record(errors, trials);
+        let (lo, hi) = c.wilson_interval(1.96);
+        prop_assert!(lo <= c.rate() + 1e-12);
+        prop_assert!(hi >= c.rate() - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_distinct(seed in any::<u64>(), i in 0u64..100, j in 0u64..100) {
+        prop_assume!(i != j);
+        let mut a1 = Xoshiro256pp::stream(seed, i);
+        let mut a2 = Xoshiro256pp::stream(seed, i);
+        let mut b = Xoshiro256pp::stream(seed, j);
+        let xs: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(&xs, &ys);
+        prop_assert_ne!(&xs, &zs);
+    }
+
+    #[test]
+    fn splitmix_derive_is_deterministic(seed in any::<u64>(), idx in any::<u64>()) {
+        prop_assert_eq!(SplitMix64::derive(seed, idx), SplitMix64::derive(seed, idx));
+    }
+
+    #[test]
+    fn uniform_in_range(seed in any::<u64>(), lo in -1e3f64..0.0, width in 0.001f64..1e3) {
+        let mut g = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = g.range_f64(lo, lo + width);
+            prop_assert!(v >= lo && v < lo + width);
+        }
+    }
+}

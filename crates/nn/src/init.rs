@@ -1,0 +1,93 @@
+//! Weight initialisation.
+//!
+//! Xavier/Glorot for sigmoid/tanh stacks, He for ReLU stacks —
+//! both in their uniform variants, drawn from the workspace's
+//! deterministic xoshiro streams.
+
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+
+/// Initialisation scheme for a dense layer's weight matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// Uniform `±√(6/(fan_in+fan_out))` (Glorot & Bengio 2010).
+    XavierUniform,
+    /// Uniform `±√(6/fan_in)` (He et al. 2015), suited to ReLU.
+    HeUniform,
+    /// Uniform `±scale·0.5/√fan_in`-free plain range, for embeddings and
+    /// tests: `±scale`.
+    Uniform(f32),
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `rows × cols` matrix; `rows` is treated as `fan_out`,
+    /// `cols` as `fan_in` (the dense-layer weight convention `W: out×in`).
+    pub fn sample(&self, rows: usize, cols: usize, rng: &mut Xoshiro256pp) -> Matrix<f32> {
+        let bound = match self {
+            Init::XavierUniform => (6.0 / (rows + cols) as f64).sqrt(),
+            Init::HeUniform => (6.0 / cols.max(1) as f64).sqrt(),
+            Init::Uniform(s) => *s as f64,
+            Init::Zeros => 0.0,
+        };
+        let mut m = Matrix::zeros(rows, cols);
+        if bound > 0.0 {
+            for v in m.as_mut_slice() {
+                *v = rng.range_f64(-bound, bound) as f32;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let m = Init::XavierUniform.sample(16, 2, &mut rng);
+        let bound = (6.0f32 / 18.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        let h = Init::HeUniform.sample(4, 16, &mut rng);
+        let hb = (6.0f32 / 16.0).sqrt();
+        assert!(h.as_slice().iter().all(|v| v.abs() <= hb));
+    }
+
+    #[test]
+    fn zeros_and_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        assert!(Init::Zeros
+            .sample(3, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+        let u = Init::Uniform(0.1).sample(8, 8, &mut rng);
+        assert!(u.as_slice().iter().all(|v| v.abs() <= 0.1));
+        // Not all zero (vanishing probability).
+        assert!(u.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(3);
+        let mut b = Xoshiro256pp::seed_from_u64(3);
+        assert_eq!(
+            Init::XavierUniform.sample(5, 7, &mut a),
+            Init::XavierUniform.sample(5, 7, &mut b)
+        );
+    }
+
+    #[test]
+    fn spread_is_nontrivial() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let m = Init::XavierUniform.sample(64, 64, &mut rng);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(var > 1e-4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fully-connected layer `y = x·Wᵀ + b`.
+
+use crate::init::Init;
+use crate::layer::{Layer, Param};
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::Xoshiro256pp;
+
+/// Dense layer with weights stored `out × in` (the row of `W` is the
+/// fan-in of one output neuron — also the layout a folded MVAU consumes
+/// row by row on the FPGA side).
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix<f32>>,
+}
+
+impl Dense {
+    /// New dense layer with the given initialisation for the weights and
+    /// zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Xoshiro256pp) -> Self {
+        Self {
+            weight: Param::new(init.sample(out_dim, in_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Builds from explicit weight (`out × in`) and bias (`1 × out`)
+    /// matrices (deserialisation, tests, FPGA export round-trips).
+    pub fn from_parts(weight: Matrix<f32>, bias: Matrix<f32>) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.rows(), "bias length must equal out_dim");
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// The weight matrix (`out × in`).
+    pub fn weight(&self) -> &Matrix<f32> {
+        &self.weight.value
+    }
+
+    /// The bias row vector (`1 × out`).
+    pub fn bias(&self) -> &Matrix<f32> {
+        &self.bias.value
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Matrix<f32>) -> Matrix<f32> {
+        let out = self.infer(input);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(input.cols(), self.in_dim(), "dense input width");
+        let mut out = input.matmul_transpose_b(&self.weight.value);
+        let bias = self.bias.value.row(0);
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.rows(), input.rows(), "batch mismatch");
+        assert_eq!(grad_out.cols(), self.out_dim(), "grad width");
+        // dW (out×in) = grad_outᵀ · input
+        let dw = grad_out.transpose_a_matmul(input);
+        self.weight.grad.axpy(1.0, &dw);
+        // db = column sums of grad_out
+        let db = grad_out.col_sums();
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
+            *g += d;
+        }
+        // dX (batch×in) = grad_out · W
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.in_dim());
+        self.out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_2x3() -> Dense {
+        Dense::from_parts(
+            Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0], &[0.5, 0.5]]),
+            Matrix::from_rows(&[&[0.1, 0.2, 0.3]]),
+        )
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = layer_2x3();
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0]]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (2, 3));
+        // Row 0: [1+2, −1, 1]+b = [3.1, −0.8, 1.3]
+        assert!((y[(0, 0)] - 3.1).abs() < 1e-6);
+        assert!((y[(0, 1)] + 0.8).abs() < 1e-6);
+        assert!((y[(0, 2)] - 1.3).abs() < 1e-6);
+        // Row 1: [2, 0, 1]+b
+        assert!((y[(1, 0)] - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_shapes_and_accumulation() {
+        let mut l = layer_2x3();
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let _ = l.forward(&x);
+        let g = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let gx = l.backward(&g);
+        assert_eq!(gx.shape(), (1, 2));
+        // dX = g·W = first row of W.
+        assert_eq!(gx.as_slice(), &[1.0, 2.0]);
+        // dW row 0 = x, other rows zero; db = g.
+        assert_eq!(l.params()[0].grad.row(0), &[1.0, -1.0]);
+        assert_eq!(l.params()[0].grad.row(1), &[0.0, 0.0]);
+        assert_eq!(l.params()[1].grad.as_slice(), &[1.0, 0.0, 0.0]);
+        // Accumulation across a second backward.
+        let _ = l.forward(&x);
+        let _ = l.backward(&g);
+        assert_eq!(l.params()[0].grad.row(0), &[2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense input width")]
+    fn input_width_checked() {
+        let mut l = layer_2x3();
+        let _ = l.forward(&Matrix::zeros(1, 5));
+    }
+
+    #[test]
+    fn output_dim_reports() {
+        let l = layer_2x3();
+        assert_eq!(l.output_dim(2), 3);
+        assert_eq!(l.in_dim(), 2);
+        assert_eq!(l.out_dim(), 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! Concrete layers.
+//!
+//! [`Dense`], [`Relu`], [`Sigmoid`] and [`Tanh`] compose into the
+//! demapper MLP; [`Embedding`] + [`PowerNorm`] form the transmitter-side
+//! mapper (symbol index → power-normalised constellation point). The
+//! mapper pair has a different input type (symbol indices), so it is
+//! used directly rather than through the [`crate::layer::Layer`] trait.
+
+mod dense;
+mod embedding;
+mod power_norm;
+mod relu;
+mod sigmoid;
+mod tanh;
+
+pub use dense::Dense;
+pub use embedding::Embedding;
+pub use power_norm::PowerNorm;
+pub use relu::Relu;
+pub use sigmoid::Sigmoid;
+pub use tanh::Tanh;

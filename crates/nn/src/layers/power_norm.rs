@@ -1,0 +1,124 @@
+//! Average-power normalisation of the constellation table.
+//!
+//! The paper's mapper ends with "an average power normalization layer":
+//! with equiprobable symbols the transmitted power is the mean squared
+//! norm of the *table* entries, so the table is scaled by
+//! `1/√P̄`, `P̄ = (1/M) Σ_j ‖x_j‖²`, giving `E[‖x‖²] = 1` exactly.
+//!
+//! The backward pass uses the full Jacobian (the scale itself depends on
+//! every entry):
+//!
+//! `∂L/∂x_j = g_j/√P̄ − x_j · (Σ_i ⟨g_i, x_i⟩) / (M·P̄^{3/2})`
+//!
+//! which is what lets E2E training trade power between symbols while
+//! keeping the constraint active.
+
+use hybridem_mathkit::matrix::Matrix;
+
+/// Normalises a table to unit average row power. Stateless apart from
+/// the forward cache.
+#[derive(Default)]
+pub struct PowerNorm {
+    cached_input: Option<Matrix<f32>>,
+    cached_power: f32,
+}
+
+impl PowerNorm {
+    /// New normalisation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average row power of a table.
+    pub fn avg_power(table: &Matrix<f32>) -> f32 {
+        if table.rows() == 0 {
+            return 0.0;
+        }
+        let sum: f32 = table.as_slice().iter().map(|v| v * v).sum();
+        sum / table.rows() as f32
+    }
+
+    /// Forward: `y = x/√P̄`.
+    ///
+    /// # Panics
+    /// Panics on an all-zero table (power 0 cannot be normalised).
+    pub fn forward(&mut self, table: &Matrix<f32>) -> Matrix<f32> {
+        let p = Self::avg_power(table);
+        assert!(p > 0.0, "cannot power-normalise an all-zero table");
+        self.cached_input = Some(table.clone());
+        self.cached_power = p;
+        table.map(|v| v / p.sqrt())
+    }
+
+    /// Backward: full Jacobian as documented on the module.
+    pub fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        assert_eq!(grad_out.shape(), x.shape(), "power-norm grad shape");
+        let p = self.cached_power;
+        let m = x.rows() as f32;
+        let inner: f32 = grad_out
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&g, &xi)| g * xi)
+            .sum();
+        let s1 = 1.0 / p.sqrt();
+        let s2 = inner / (m * p * p.sqrt());
+        grad_out.zip_map(x, |g, xi| g * s1 - xi * s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_unit_average_power() {
+        let mut pn = PowerNorm::new();
+        let t = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let y = pn.forward(&t);
+        assert!((PowerNorm::avg_power(&y) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!(y[(0, 1)] == 0.0 && y[(1, 0)] == 0.0);
+        assert!(y[(0, 0)] > 0.0 && y[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn forward_is_scale_invariant() {
+        let mut pn = PowerNorm::new();
+        let t = Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25]]);
+        let y1 = pn.forward(&t);
+        let y2 = pn.forward(&t.map(|v| v * 7.5));
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_orthogonal_to_scaling_direction() {
+        // The normalised output is invariant to scaling the input, so
+        // the pullback of any gradient must be orthogonal to x.
+        let mut pn = PowerNorm::new();
+        let t = Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25]]);
+        let _ = pn.forward(&t);
+        let g = Matrix::from_rows(&[&[0.3, -0.7], &[0.2, 0.9]]);
+        let gx = pn.backward(&g);
+        let dot: f32 = gx
+            .as_slice()
+            .iter()
+            .zip(t.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!(dot.abs() < 1e-5, "directional derivative along x must vanish, got {dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero table")]
+    fn zero_table_rejected() {
+        let mut pn = PowerNorm::new();
+        let _ = pn.forward(&Matrix::zeros(4, 2));
+    }
+}

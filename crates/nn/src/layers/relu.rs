@@ -1,0 +1,81 @@
+//! Rectified linear unit.
+
+use crate::layer::Layer;
+use hybridem_mathkit::matrix::Matrix;
+
+/// Element-wise `max(0, x)`; caches the activation mask for backward.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+    shape: (usize, usize),
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Matrix<f32>) -> Matrix<f32> {
+        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        let out = self.infer(input);
+        self.mask = Some(mask);
+        self.shape = input.shape();
+        out
+    }
+
+    fn infer(&self, input: &Matrix<f32>) -> Matrix<f32> {
+        input.map(|x| if x > 0.0 { x } else { 0.0 })
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), self.shape, "relu grad shape");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut l = Relu::new();
+        let y = l.forward(&Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]));
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut l = Relu::new();
+        let _ = l.forward(&Matrix::from_rows(&[&[-1.0, 0.5, 2.0]]));
+        let g = l.backward(&Matrix::from_rows(&[&[10.0, 10.0, 10.0]]));
+        assert_eq!(g.as_slice(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention at the kink: 0.
+        let mut l = Relu::new();
+        let _ = l.forward(&Matrix::from_rows(&[&[0.0]]));
+        let g = l.backward(&Matrix::from_rows(&[&[1.0]]));
+        assert_eq!(g.as_slice(), &[0.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hybridem-nn
+//!
+//! A from-scratch neural-network library with manual backpropagation —
+//! the training substrate for the paper's autoencoder.
+//!
+//! The paper trains a tiny system: a mapper (embedding of 16 symbols
+//! into the complex plane + average-power normalisation) and a demapper
+//! MLP (`2 → 16 → 16 → 4`, ReLU/ReLU/Sigmoid) with binary cross-entropy
+//! loss and a first-order optimiser. Rather than binding to an ML
+//! framework, this crate implements exactly that machinery:
+//!
+//! - [`layer::Layer`] and the [`layers`] module — dense, ReLU, sigmoid,
+//!   tanh for batched `Matrix<f32>` activations, plus the two special
+//!   transmitter-side layers: [`layers::Embedding`] (symbol index →
+//!   point) and [`layers::PowerNorm`] (average-power constraint over the
+//!   constellation table);
+//! - [`loss`] — BCE (probability and fused-logit forms), MSE, softmax
+//!   cross-entropy;
+//! - [`optim`] — SGD (+momentum) and Adam;
+//! - [`model::Sequential`] — layer stacks with serde snapshots;
+//! - [`grad_check`] — central-difference gradient verification used by
+//!   the test-suite on every layer and loss;
+//! - [`init`] / [`schedule`] — Xavier/He initialisation and learning
+//!   rate schedules.
+//!
+//! Everything is deterministic given a seed, and fast enough that full
+//! E2E training runs inside unit tests.
+
+#![warn(missing_docs)]
+
+pub mod grad_check;
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod schedule;
+
+pub use layer::{Layer, Param};
+pub use model::{MlpSpec, Sequential};
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,157 @@
+//! Loss functions.
+//!
+//! The paper trains with **binary cross-entropy over the `m` bit
+//! probabilities** (maximising bitwise mutual information). For
+//! numerical robustness the E2E trainer uses the fused
+//! [`bce_with_logits`] form on the pre-sigmoid outputs; a plain
+//! [`bce`] on probabilities, [`mse`], and a softmax [`cross_entropy_logits`]
+//! (for the symbol-wise demapper ablation) are also provided.
+//!
+//! Every function returns `(loss, grad)` where `grad` is ∂loss/∂input
+//! with the `1/batch` factor already applied, so `loss` decreases under
+//! a plain gradient step regardless of batch size.
+
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::special::sigmoid_f32;
+
+/// Binary cross-entropy on probabilities `p ∈ (0,1)` against targets
+/// in `{0,1}` (mean over all entries). Inputs are clamped away from
+/// {0,1} by `1e-7` to avoid infinities.
+pub fn bce(p: &Matrix<f32>, target: &Matrix<f32>) -> (f32, Matrix<f32>) {
+    assert_eq!(p.shape(), target.shape(), "bce shape mismatch");
+    let n = p.len() as f32;
+    let mut loss = 0.0f64;
+    let grad = p.zip_map(target, |p, t| {
+        let p = p.clamp(1e-7, 1.0 - 1e-7);
+        loss += -((t as f64) * (p as f64).ln() + (1.0 - t as f64) * (1.0 - p as f64).ln());
+        (-(t / p) + (1.0 - t) / (1.0 - p)) / n
+    });
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Fused sigmoid + BCE on logits `z`: `L = mean[softplus(z) − t·z]`,
+/// `∂L/∂z = (σ(z) − t)/N`. Never overflows.
+pub fn bce_with_logits(z: &Matrix<f32>, target: &Matrix<f32>) -> (f32, Matrix<f32>) {
+    assert_eq!(z.shape(), target.shape(), "bce_with_logits shape mismatch");
+    let n = z.len() as f32;
+    let mut loss = 0.0f64;
+    let grad = z.zip_map(target, |z, t| {
+        // softplus(z) − t·z in the standard overflow-free form
+        // max(z,0) − t·z + ln(1+e^{−|z|}).
+        loss += (z.max(0.0) - t * z + (1.0 + (-z.abs()).exp()).ln()) as f64;
+        (sigmoid_f32(z) - t) / n
+    });
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Mean squared error `mean[(y − t)²]`.
+pub fn mse(y: &Matrix<f32>, target: &Matrix<f32>) -> (f32, Matrix<f32>) {
+    assert_eq!(y.shape(), target.shape(), "mse shape mismatch");
+    let n = y.len() as f32;
+    let mut loss = 0.0f64;
+    let grad = y.zip_map(target, |y, t| {
+        let d = y - t;
+        loss += (d as f64) * (d as f64);
+        2.0 * d / n
+    });
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax cross-entropy on logits against integer class labels
+/// (mean over the batch). Returns ∂L/∂logits.
+pub fn cross_entropy_logits(z: &Matrix<f32>, labels: &[usize]) -> (f32, Matrix<f32>) {
+    assert_eq!(z.rows(), labels.len(), "label count mismatch");
+    let b = z.rows() as f32;
+    let mut grad = Matrix::zeros(z.rows(), z.cols());
+    let mut loss = 0.0f64;
+    for r in 0..z.rows() {
+        let row = z.row(r);
+        let label = labels[r];
+        assert!(label < z.cols(), "label {label} out of range");
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+        let log_sum = m + sum.ln();
+        loss += (log_sum - row[label]) as f64;
+        let g = grad.row_mut(r);
+        for (c, (&v, gslot)) in row.iter().zip(g.iter_mut()).enumerate() {
+            let p = (v - log_sum).exp();
+            *gslot = (p - f32::from(c == label)) / b;
+        }
+    }
+    ((loss / b as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_known_value() {
+        let p = Matrix::from_rows(&[&[0.9f32, 0.1]]);
+        let t = Matrix::from_rows(&[&[1.0f32, 0.0]]);
+        let (l, g) = bce(&p, &t);
+        let expected = -(0.9f64.ln() + 0.9f64.ln()) / 2.0;
+        assert!((l as f64 - expected).abs() < 1e-6);
+        // Gradient signs: pull p up toward t=1, down toward t=0.
+        assert!(g[(0, 0)] < 0.0);
+        assert!(g[(0, 1)] > 0.0);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_composition() {
+        let z = Matrix::from_rows(&[&[1.3f32, -0.7, 0.0, 4.0]]);
+        let t = Matrix::from_rows(&[&[1.0f32, 0.0, 1.0, 0.0]]);
+        let p = z.map(sigmoid_f32);
+        let (l1, _) = bce(&p, &t);
+        let (l2, g2) = bce_with_logits(&z, &t);
+        assert!((l1 - l2).abs() < 1e-5, "{l1} vs {l2}");
+        // grad wrt z from composition: (p−t)/N.
+        for (i, (&pi, &ti)) in p.as_slice().iter().zip(t.as_slice()).enumerate() {
+            assert!((g2.as_slice()[i] - (pi - ti) / 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_extreme_inputs_finite() {
+        let z = Matrix::from_rows(&[&[500.0f32, -500.0]]);
+        let t = Matrix::from_rows(&[&[0.0f32, 1.0]]);
+        let (l, g) = bce_with_logits(&z, &t);
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+        assert!(l > 100.0); // confidently wrong ⇒ huge loss
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let y = Matrix::from_rows(&[&[1.0f32, 2.0]]);
+        let t = Matrix::from_rows(&[&[0.0f32, 2.0]]);
+        let (l, g) = mse(&y, &t);
+        assert!((l - 0.5).abs() < 1e-7);
+        assert_eq!(g.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let z = Matrix::zeros(1, 4);
+        let (l, g) = cross_entropy_logits(&z, &[2]);
+        assert!((l - (4.0f32).ln()).abs() < 1e-6);
+        // Gradient: p − onehot = 0.25 everywhere except label: −0.75.
+        assert!((g[(0, 2)] + 0.75).abs() < 1e-6);
+        assert!((g[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let z = Matrix::from_rows(&[&[10.0f32, -10.0, -10.0]]);
+        let (l, _) = cross_entropy_logits(&z, &[0]);
+        assert!(l < 1e-4);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_loss() {
+        let p = Matrix::from_rows(&[&[1.0f32 - 1e-7, 1e-7]]);
+        let t = Matrix::from_rows(&[&[1.0f32, 0.0]]);
+        let (l, _) = bce(&p, &t);
+        assert!(l < 1e-5);
+    }
+}

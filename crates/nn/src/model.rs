@@ -1,0 +1,343 @@
+//! Layer stacks and model snapshots.
+//!
+//! [`Sequential`] chains layers into the demapper MLP; [`MlpSpec`] is
+//! the declarative description used across the workspace (the paper's
+//! demapper is `MlpSpec::paper_demapper()` = `2→16→16→4`,
+//! ReLU/ReLU/Sigmoid — see DESIGN.md §5 for why the 352-DSP figure in
+//! the paper's Table 2 pins down this topology). Snapshots serialise to
+//! JSON through serde so trained models can be checkpointed, shipped to
+//! the FPGA builder, and reloaded in tests.
+
+use crate::layer::{Layer, Param};
+use crate::layers::{Dense, Relu, Sigmoid, Tanh};
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use serde::{Deserialize, Serialize};
+
+/// Hidden/output activation choice for [`MlpSpec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation (linear / logits output).
+    Linear,
+}
+
+/// Declarative MLP description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    /// Layer widths, `dims[0]` = input features, last = output features.
+    pub dims: Vec<usize>,
+    /// Activation after each hidden dense layer.
+    pub hidden: Activation,
+    /// Activation after the final dense layer.
+    pub output: Activation,
+}
+
+impl MlpSpec {
+    /// The paper's demapper: 2 inputs (I/Q), hidden widths 16 and 16,
+    /// 4 outputs (bit probabilities); ReLU hidden, sigmoid output.
+    pub fn paper_demapper() -> Self {
+        Self {
+            dims: vec![2, 16, 16, 4],
+            hidden: Activation::Relu,
+            output: Activation::Sigmoid,
+        }
+    }
+
+    /// Same topology but with a linear (logit) output, for training with
+    /// the fused BCE-with-logits loss.
+    pub fn paper_demapper_logits() -> Self {
+        Self {
+            output: Activation::Linear,
+            ..Self::paper_demapper()
+        }
+    }
+
+    /// Total multiply–accumulate operations of one forward pass — the
+    /// quantity that pins the DSP count of a fully parallel FPGA
+    /// implementation (352 for the paper's demapper).
+    pub fn mac_count(&self) -> usize {
+        self.dims.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+
+    /// Builds the runtime model with fresh initialisation (He for ReLU
+    /// stacks, Xavier otherwise).
+    pub fn build(&self, rng: &mut Xoshiro256pp) -> Sequential {
+        assert!(self.dims.len() >= 2, "need at least input and output dims");
+        let init = match self.hidden {
+            Activation::Relu => crate::init::Init::HeUniform,
+            _ => crate::init::Init::XavierUniform,
+        };
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let n = self.dims.len() - 1;
+        for (i, w) in self.dims.windows(2).enumerate() {
+            layers.push(Box::new(Dense::new(w[0], w[1], init, rng)));
+            let act = if i + 1 == n { self.output } else { self.hidden };
+            match act {
+                Activation::Relu => layers.push(Box::new(Relu::new())),
+                Activation::Sigmoid => layers.push(Box::new(Sigmoid::new())),
+                Activation::Tanh => layers.push(Box::new(Tanh::new())),
+                Activation::Linear => {}
+            }
+        }
+        Sequential::new(layers, self.dims[0])
+    }
+}
+
+/// A chain of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+}
+
+impl Sequential {
+    /// Builds from boxed layers; `input_dim` is the expected feature
+    /// count of the input batch.
+    pub fn new(layers: Vec<Box<dyn Layer>>, input_dim: usize) -> Self {
+        Self { layers, input_dim }
+    }
+
+    /// Expected input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output feature count.
+    pub fn output_dim(&self) -> usize {
+        let mut d = self.input_dim;
+        for l in &self.layers {
+            d = l.output_dim(d);
+        }
+        d
+    }
+
+    /// Number of layers (including activations).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Immutable view of the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Matrix<f32>) -> Matrix<f32> {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Pure inference pass (no caches touched): safe to call from
+    /// shared references across threads.
+    pub fn infer(&self, input: &Matrix<f32>) -> Matrix<f32> {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x);
+        }
+        x
+    }
+
+    /// Backward pass; returns ∂L/∂input.
+    pub fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// All trainable parameters in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Read-only parameters in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Serialisable snapshot of architecture and weights.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot {
+            input_dim: self.input_dim,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| match l.name() {
+                    "dense" => {
+                        let ps = l.params();
+                        LayerSnapshot::Dense {
+                            weight: ps[0].value.clone(),
+                            bias: ps[1].value.clone(),
+                        }
+                    }
+                    "relu" => LayerSnapshot::Relu,
+                    "sigmoid" => LayerSnapshot::Sigmoid,
+                    "tanh" => LayerSnapshot::Tanh,
+                    other => panic!("unsnapshotable layer {other}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// JSON round-trip helpers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("snapshot serialisation")
+    }
+
+    /// Restores a model from JSON produced by [`Sequential::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let snap: ModelSnapshot = serde_json::from_str(json)?;
+        Ok(Self::from_snapshot(snap))
+    }
+
+    /// Rebuilds a model from a snapshot.
+    pub fn from_snapshot(snap: ModelSnapshot) -> Self {
+        let layers: Vec<Box<dyn Layer>> = snap
+            .layers
+            .into_iter()
+            .map(|l| -> Box<dyn Layer> {
+                match l {
+                    LayerSnapshot::Dense { weight, bias } => {
+                        Box::new(Dense::from_parts(weight, bias))
+                    }
+                    LayerSnapshot::Relu => Box::new(Relu::new()),
+                    LayerSnapshot::Sigmoid => Box::new(Sigmoid::new()),
+                    LayerSnapshot::Tanh => Box::new(Tanh::new()),
+                }
+            })
+            .collect();
+        Self::new(layers, snap.input_dim)
+    }
+}
+
+/// One serialised layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LayerSnapshot {
+    /// Dense layer weights (`out × in`) and bias (`1 × out`).
+    Dense {
+        /// Weight matrix.
+        weight: Matrix<f32>,
+        /// Bias row vector.
+        bias: Matrix<f32>,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Sigmoid activation.
+    Sigmoid,
+    /// Tanh activation.
+    Tanh,
+}
+
+/// A serialised model: architecture plus weights.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Expected input feature count.
+    pub input_dim: usize,
+    /// Layers in application order.
+    pub layers: Vec<LayerSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::bce_with_logits;
+    use crate::optim::{Adam, Optimizer};
+
+    #[test]
+    fn paper_demapper_shape_and_macs() {
+        let spec = MlpSpec::paper_demapper();
+        assert_eq!(spec.mac_count(), 2 * 16 + 16 * 16 + 16 * 4);
+        assert_eq!(spec.mac_count(), 352); // pins the Table-2 DSP count
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let mut model = spec.build(&mut rng);
+        assert_eq!(model.input_dim(), 2);
+        assert_eq!(model.output_dim(), 4);
+        let y = model.forward(&Matrix::zeros(5, 2));
+        assert_eq!(y.shape(), (5, 4));
+        // Sigmoid output is a probability.
+        assert!(y.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let model = MlpSpec::paper_demapper().build(&mut rng);
+        // Weights 352 + biases 16+16+4 = 388.
+        assert_eq!(model.num_parameters(), 388);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_outputs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut model = MlpSpec::paper_demapper().build(&mut rng);
+        let x = Matrix::from_rows(&[&[0.3f32, -0.8], &[1.0, 0.1]]);
+        let y1 = model.forward(&x);
+        let json = model.to_json();
+        let mut restored = Sequential::from_json(&json).unwrap();
+        let y2 = restored.forward(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // The canonical non-linear sanity check for backprop.
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let spec = MlpSpec {
+            dims: vec![2, 16, 1],
+            hidden: Activation::Tanh,
+            output: Activation::Linear,
+        };
+        let mut model = spec.build(&mut rng);
+        let x = Matrix::from_rows(&[&[0.0f32, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[0.0f32], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..800 {
+            model.zero_grad();
+            let z = model.forward(&x);
+            let (l, g) = bce_with_logits(&z, &t);
+            model.backward(&g);
+            opt.step(&mut model.params_mut());
+            last = l;
+        }
+        assert!(last < 0.05, "XOR loss did not converge: {last}");
+        let probs = model.forward(&x).map(hybridem_mathkit::special::sigmoid_f32);
+        assert!(probs[(0, 0)] < 0.5 && probs[(3, 0)] < 0.5);
+        assert!(probs[(1, 0)] > 0.5 && probs[(2, 0)] > 0.5);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut model = MlpSpec::paper_demapper_logits().build(&mut rng);
+        let x = Matrix::zeros(3, 2);
+        let t = Matrix::zeros(3, 4);
+        let z = model.forward(&x);
+        let (_, g) = bce_with_logits(&z, &t);
+        model.backward(&g);
+        assert!(model.params().iter().any(|p| p.grad.max_abs() > 0.0));
+        model.zero_grad();
+        assert!(model.params().iter().all(|p| p.grad.max_abs() == 0.0));
+    }
+}

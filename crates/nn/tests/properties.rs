@@ -1,0 +1,160 @@
+//! Property-based tests of the neural-network library: gradient
+//! correctness over random topologies, optimiser behaviour, and
+//! serialisation stability.
+
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use hybridem_nn::grad_check::{check_input_grads, check_model_grads};
+use hybridem_nn::loss::{bce, bce_with_logits, cross_entropy_logits, mse};
+use hybridem_nn::model::{Activation, MlpSpec};
+use hybridem_nn::Sequential;
+use proptest::prelude::*;
+
+fn random_batch(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal_f32() * 0.6;
+    }
+    m
+}
+
+fn binary_targets(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    random_batch(rows, cols, seed).map(|v| f32::from(v > 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gradients_correct_for_random_topologies(
+        hidden in 2usize..12,
+        depth in 1usize..3,
+        act in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let hidden_act = [Activation::Relu, Activation::Sigmoid, Activation::Tanh][act];
+        let mut dims = vec![2usize];
+        for _ in 0..depth {
+            dims.push(hidden);
+        }
+        dims.push(3);
+        let spec = MlpSpec {
+            dims,
+            hidden: hidden_act,
+            output: Activation::Linear,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut model = spec.build(&mut rng);
+        let x = random_batch(4, 2, seed + 1);
+        let t = binary_targets(4, 3, seed + 2);
+        let report = check_model_grads(&mut model, &x, |z| bce_with_logits(z, &t), 1e-3);
+        // ReLU topologies: an activation can sit near its kink, where
+        // f32 central differences straddle the non-differentiable point;
+        // allow a wider envelope there (a real gradient bug shows up as
+        // errors of order 1).
+        let tol = if hidden_act == Activation::Relu { 0.12 } else { 5e-2 };
+        prop_assert!(report.max_rel_error < tol,
+            "rel err {} for seed {}", report.max_rel_error, seed);
+    }
+
+    #[test]
+    fn input_gradients_correct(seed in 0u64..1000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut model = MlpSpec::paper_demapper_logits().build(&mut rng);
+        let x = random_batch(3, 2, seed + 10);
+        let t = binary_targets(3, 4, seed + 11);
+        let report = check_input_grads(&mut model, &x, |z| bce_with_logits(z, &t), 1e-3);
+        prop_assert!(report.max_rel_error < 5e-2, "rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn loss_gradients_match_numeric(seed in 0u64..500, loss_kind in 0usize..3) {
+        // Direct central-difference check of each loss's own gradient.
+        let z = random_batch(2, 4, seed);
+        let t = binary_targets(2, 4, seed + 1);
+        let labels = [0usize, 3];
+        let f = |z: &Matrix<f32>| -> (f32, Matrix<f32>) {
+            match loss_kind {
+                0 => bce_with_logits(z, &t),
+                1 => mse(z, &t),
+                _ => cross_entropy_logits(z, &labels),
+            }
+        };
+        let (_, g) = f(&z);
+        let eps = 1e-3f32;
+        for k in 0..z.len() {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[k] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[k] -= eps;
+            let (lp, _) = f(&zp);
+            let (lm, _) = f(&zm);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = g.as_slice()[k];
+            prop_assert!((num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "coord {}: numeric {} vs analytic {}", k, num, ana);
+        }
+    }
+
+    #[test]
+    fn bce_forms_agree(seed in 0u64..500) {
+        let z = random_batch(3, 4, seed);
+        let t = binary_targets(3, 4, seed + 1);
+        let p = z.map(hybridem_mathkit::special::sigmoid_f32);
+        let (l1, _) = bce(&p, &t);
+        let (l2, _) = bce_with_logits(&z, &t);
+        prop_assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_bit_exact(seed in any::<u64>(), rows in 1usize..6) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut model = MlpSpec::paper_demapper().build(&mut rng);
+        let x = random_batch(rows, 2, seed ^ 0xABCD);
+        let y1 = model.forward(&x);
+        let json = model.to_json();
+        let restored = Sequential::from_json(&json).unwrap();
+        let y2 = restored.infer(&x);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_and_infer_agree(seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut model = MlpSpec::paper_demapper().build(&mut rng);
+        let x = random_batch(5, 2, seed ^ 0x1234);
+        let a = model.forward(&x);
+        let b = model.infer(&x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss_on_small_problems(seed in 0u64..200) {
+        use hybridem_nn::optim::Optimizer;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let spec = MlpSpec {
+            dims: vec![2, 6, 2],
+            hidden: Activation::Tanh,
+            output: Activation::Linear,
+        };
+        let mut model = spec.build(&mut rng);
+        let x = random_batch(8, 2, seed + 5);
+        let t = binary_targets(8, 2, seed + 6);
+        let mut opt = hybridem_nn::Sgd::new(0.05);
+        let (first, _) = bce_with_logits(&model.forward(&x), &t);
+        for _ in 0..50 {
+            model.zero_grad();
+            let z = model.forward(&x);
+            let (_, g) = bce_with_logits(&z, &t);
+            model.backward(&g);
+            opt.step(&mut model.params_mut());
+        }
+        let (last, _) = bce_with_logits(&model.forward(&x), &t);
+        prop_assert!(last < first + 1e-6, "loss should not increase: {first} → {last}");
+    }
+}

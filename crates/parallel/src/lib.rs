@@ -1,0 +1,26 @@
+//! # hybridem-parallel
+//!
+//! Thread-based data parallelism for the Monte-Carlo workloads in the
+//! workspace (BER sweeps need 10⁶–10⁷ simulated symbols per point).
+//!
+//! Built directly on `crossbeam`'s scoped threads in the spirit of the
+//! Rayon model (fork–join over slices), but deliberately tiny and —
+//! crucially — **deterministic**: work is split into a fixed number of
+//! *tasks* that is independent of the worker count, and each task draws
+//! from its own counter-derived RNG stream. Running on 1 thread or 64
+//! produces bit-identical results.
+//!
+//! - [`par_map`] / [`par_map_indexed`] — parallel map over a slice;
+//! - [`par_chunks_map`] — parallel map over contiguous chunks;
+//! - [`montecarlo::run`] — deterministic parallel Monte-Carlo with
+//!   per-task RNG streams and associative reduction.
+
+#![warn(missing_docs)]
+
+pub mod montecarlo;
+pub mod par_iter;
+pub mod util;
+
+pub use montecarlo::{run as montecarlo_run, MonteCarloPlan};
+pub use par_iter::{par_chunks_map, par_map, par_map_indexed};
+pub use util::num_threads;

@@ -1,0 +1,169 @@
+//! Deterministic parallel Monte-Carlo execution.
+//!
+//! A BER point is an embarrassingly parallel estimation problem, but a
+//! naive "one RNG per thread" split makes the result depend on the
+//! machine's core count. Here the work is divided into a fixed number
+//! of **tasks** chosen by the caller (not by the scheduler); task `i`
+//! always processes the same number of trials with the RNG stream
+//! `Xoshiro256pp::stream(seed, i)`, and partial results are reduced in
+//! task order. The outcome is a pure function of `(plan, seed)`.
+
+use crate::par_iter::par_map;
+use hybridem_mathkit::rng::Xoshiro256pp;
+
+/// Shape of a Monte-Carlo run: how many trials, split into how many
+/// deterministic tasks.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloPlan {
+    /// Total number of trials across all tasks.
+    pub trials: u64,
+    /// Number of independent tasks (each gets its own RNG stream).
+    /// More tasks → finer load balancing; the result never changes.
+    pub tasks: u32,
+    /// Base seed; task `i` uses stream `(seed, i)`.
+    pub seed: u64,
+}
+
+impl MonteCarloPlan {
+    /// A plan with a task count suited to the current machine
+    /// (4× threads for load balancing) but results independent of it —
+    /// determinism only requires that *the same plan* be replayed.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        let tasks = (crate::util::num_threads() * 4).clamp(1, 256) as u32;
+        Self { trials, tasks, seed }
+    }
+
+    /// Explicit task count (use in tests asserting thread-count
+    /// invariance: fix `tasks`, vary `HYBRIDEM_THREADS`).
+    pub fn with_tasks(trials: u64, tasks: u32, seed: u64) -> Self {
+        assert!(tasks > 0, "at least one task");
+        Self { trials, tasks, seed }
+    }
+
+    /// Number of trials assigned to task `i` (first tasks get the
+    /// remainder, same convention as `split_ranges`).
+    pub fn trials_of_task(&self, i: u32) -> u64 {
+        let base = self.trials / self.tasks as u64;
+        let extra = self.trials % self.tasks as u64;
+        base + u64::from((i as u64) < extra)
+    }
+}
+
+/// Runs the plan: each task folds `body` over its trials into a fresh
+/// accumulator from `init`, partial accumulators are combined with
+/// `merge` in task order.
+///
+/// `body(acc, rng)` performs **one trial**.
+pub fn run<A, I, B, M>(plan: &MonteCarloPlan, init: I, body: B, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    B: Fn(&mut A, &mut Xoshiro256pp) + Sync,
+    M: Fn(&mut A, A),
+{
+    let task_ids: Vec<u32> = (0..plan.tasks).collect();
+    let partials = par_map(&task_ids, |&i| {
+        let mut rng = Xoshiro256pp::stream(plan.seed, i as u64);
+        let mut acc = init();
+        for _ in 0..plan.trials_of_task(i) {
+            body(&mut acc, &mut rng);
+        }
+        acc
+    });
+    let mut iter = partials.into_iter();
+    let mut total = iter.next().unwrap_or_else(&init);
+    for p in iter {
+        merge(&mut total, p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_mathkit::rng::Rng64;
+    use hybridem_mathkit::stats::ErrorCounter;
+
+    fn pi_estimate(plan: &MonteCarloPlan) -> f64 {
+        let hits = run(
+            plan,
+            || 0u64,
+            |acc, rng| {
+                let x = rng.next_f64();
+                let y = rng.next_f64();
+                if x * x + y * y <= 1.0 {
+                    *acc += 1;
+                }
+            },
+            |a, b| *a += b,
+        );
+        4.0 * hits as f64 / plan.trials as f64
+    }
+
+    #[test]
+    fn estimates_pi() {
+        let plan = MonteCarloPlan::with_tasks(1_000_000, 16, 42);
+        let pi = pi_estimate(&plan);
+        assert!((pi - std::f64::consts::PI).abs() < 0.01, "pi ≈ {pi}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let plan = MonteCarloPlan::with_tasks(100_000, 8, 7);
+        assert_eq!(pi_estimate(&plan).to_bits(), pi_estimate(&plan).to_bits());
+    }
+
+    #[test]
+    fn independent_of_thread_count() {
+        // Same plan evaluated with the scheduler forced to one thread
+        // must agree bit-for-bit with the parallel run. We emulate the
+        // one-thread case by folding tasks sequentially by hand.
+        let plan = MonteCarloPlan::with_tasks(50_000, 12, 99);
+        let parallel = pi_estimate(&plan);
+        let mut hits = 0u64;
+        for i in 0..plan.tasks {
+            let mut rng = Xoshiro256pp::stream(plan.seed, i as u64);
+            for _ in 0..plan.trials_of_task(i) {
+                let x = rng.next_f64();
+                let y = rng.next_f64();
+                if x * x + y * y <= 1.0 {
+                    hits += 1;
+                }
+            }
+        }
+        let sequential = 4.0 * hits as f64 / plan.trials as f64;
+        assert_eq!(parallel.to_bits(), sequential.to_bits());
+    }
+
+    #[test]
+    fn trial_split_is_exact() {
+        for trials in [0u64, 1, 999, 1000, 1001] {
+            let plan = MonteCarloPlan::with_tasks(trials, 7, 0);
+            let sum: u64 = (0..plan.tasks).map(|i| plan.trials_of_task(i)).sum();
+            assert_eq!(sum, trials);
+        }
+    }
+
+    #[test]
+    fn works_with_error_counter() {
+        // Simulate a Bernoulli(0.1) error process.
+        let plan = MonteCarloPlan::with_tasks(200_000, 16, 5);
+        let counter = run(
+            &plan,
+            ErrorCounter::new,
+            |acc, rng| acc.push(rng.next_f64() < 0.1),
+            |a, b| a.merge(&b),
+        );
+        assert_eq!(counter.trials(), 200_000);
+        assert!(counter.consistent_with(0.1, 3.9), "rate {}", counter.rate());
+    }
+
+    #[test]
+    fn zero_trials_merge_only_inits() {
+        // 4 tasks, 0 trials each: body never runs, the four init
+        // accumulators (17 each) are summed by the merge.
+        let plan = MonteCarloPlan::with_tasks(0, 4, 1);
+        let v = run(&plan, || 17u32, |_, _| unreachable!(), |a, b| *a += b);
+        assert_eq!(v, 68);
+    }
+}

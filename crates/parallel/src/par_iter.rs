@@ -1,0 +1,133 @@
+//! Parallel map primitives over slices.
+//!
+//! These are fork–join helpers in the Rayon style, specialised to the
+//! access patterns of the workspace (read-only input slice, owned output
+//! per element). Results are always assembled in input order, so the
+//! output is identical to the sequential map regardless of scheduling.
+
+use crate::util::{num_threads, split_ranges};
+
+/// Parallel equivalent of `items.iter().map(f).collect()`.
+///
+/// Falls back to the sequential map for small inputs where spawning
+/// costs more than the work.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Parallel map that also passes the element index.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = num_threads();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = split_ranges(items.len(), threads);
+    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move |_| {
+                    items[r.clone()]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, t)| f(r.start + k, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            pieces.push(h.join().expect("parallel worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut out = Vec::with_capacity(items.len());
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel map over contiguous chunks of at most `chunk` elements;
+/// `f` receives `(chunk_index, chunk_slice)`. Chunk outputs are returned
+/// in order.
+pub fn par_chunks_map<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    par_map_indexed(&chunks, |i, c| f(i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_sequential_map() {
+        let xs: Vec<i64> = (0..10_000).collect();
+        let seq: Vec<i64> = xs.iter().map(|x| x * x - 3).collect();
+        let par = par_map(&xs, |x| x * x - 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn indexed_variant_sees_correct_indices() {
+        let xs = vec![10u64; 1000];
+        let par = par_map_indexed(&xs, |i, &x| i as u64 + x);
+        for (i, v) in par.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 10);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[42], |x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn all_elements_visited_exactly_once() {
+        let xs: Vec<usize> = (0..5000).collect();
+        let counter = AtomicUsize::new(0);
+        let out = par_map(&xs, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), xs.len());
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn chunks_map_order_and_sizes() {
+        let xs: Vec<u32> = (0..10).collect();
+        let sums = par_chunks_map(&xs, 4, |i, c| (i, c.iter().sum::<u32>()));
+        assert_eq!(sums, vec![(0, 1 + 2 + 3), (1, 4 + 5 + 6 + 7), (2, 8 + 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = par_chunks_map(&[1, 2, 3], 0, |_, c| c.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of the parallel substrate: order preservation,
+//! determinism, and exact work accounting.
+
+use hybridem_mathkit::rng::Rng64;
+use hybridem_parallel::montecarlo::{run, MonteCarloPlan};
+use hybridem_parallel::par_iter::{par_chunks_map, par_map, par_map_indexed};
+use hybridem_parallel::util::split_ranges;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_equals_sequential(xs in proptest::collection::vec(any::<i32>(), 0..500)) {
+        let seq: Vec<i64> = xs.iter().map(|&x| x as i64 * 3 - 7).collect();
+        let par = par_map(&xs, |&x| x as i64 * 3 - 7);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_indexed_order(n in 0usize..300) {
+        let xs = vec![1u64; n];
+        let out = par_map_indexed(&xs, |i, &x| i as u64 * 10 + x);
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, i as u64 * 10 + 1);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_input(xs in proptest::collection::vec(any::<u8>(), 1..200), chunk in 1usize..40) {
+        let lens = par_chunks_map(&xs, chunk, |_, c| c.len());
+        prop_assert_eq!(lens.iter().sum::<usize>(), xs.len());
+        // All full except possibly the last.
+        for &l in &lens[..lens.len().saturating_sub(1)] {
+            prop_assert_eq!(l, chunk);
+        }
+    }
+
+    #[test]
+    fn split_ranges_partition(len in 0usize..1000, pieces in 1usize..32) {
+        let rs = split_ranges(len, pieces);
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for r in &rs {
+            prop_assert_eq!(r.start, next);
+            covered += r.len();
+            next = r.end;
+        }
+        prop_assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn montecarlo_result_independent_of_task_count(
+        trials in 1u64..5000, tasks_a in 1u32..16, tasks_b in 1u32..16, seed in any::<u64>()
+    ) {
+        // Different task counts give different (but individually
+        // reproducible) streams; the *same* plan must always replay.
+        let go = |tasks: u32| {
+            let plan = MonteCarloPlan::with_tasks(trials, tasks, seed);
+            run(&plan, || 0u64, |acc, rng| {
+                if rng.next_f64() < 0.25 {
+                    *acc += 1;
+                }
+            }, |a, b| *a += b)
+        };
+        prop_assert_eq!(go(tasks_a), go(tasks_a));
+        prop_assert_eq!(go(tasks_b), go(tasks_b));
+        // And both estimates agree statistically (loose bound).
+        let (a, b) = (go(tasks_a) as f64 / trials as f64, go(tasks_b) as f64 / trials as f64);
+        prop_assert!((a - b).abs() < 0.25 + 3.0 / (trials as f64).sqrt());
+    }
+
+    #[test]
+    fn montecarlo_trial_count_exact(trials in 0u64..10_000, tasks in 1u32..64, seed in any::<u64>()) {
+        let plan = MonteCarloPlan::with_tasks(trials, tasks, seed);
+        let counted = run(&plan, || 0u64, |acc, _| *acc += 1, |a, b| *a += b);
+        prop_assert_eq!(counted, trials);
+    }
+}

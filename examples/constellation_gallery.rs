@@ -1,0 +1,44 @@
+//! Constellation gallery: train the autoencoder at several SNRs and
+//! display how the learned constellation and its decision regions
+//! change with noise level (the per-SNR training the paper performs
+//! before Fig. 2).
+//!
+//! ```sh
+//! cargo run --release --example constellation_gallery
+//! ```
+
+use hybridem::core::config::SystemConfig;
+use hybridem::core::pipeline::HybridPipeline;
+use hybridem::core::viz::{ascii_constellation, ascii_regions};
+
+fn main() {
+    println!("== learned constellations across SNR ==");
+    for &snr in &[-2.0f64, 4.0, 8.0, 12.0] {
+        let mut cfg = SystemConfig::paper_default().at_snr(snr);
+        // A gallery needs speed more than polish.
+        cfg.e2e_steps = 2500;
+        cfg.grid_n = 96;
+        let mut pipe = HybridPipeline::new(cfg);
+        let loss = pipe.e2e_train();
+        let report = pipe.extract_centroids();
+        let c = pipe.constellation();
+        println!("\n--- SNR (Eb/N0) = {snr} dB | BCE loss {loss:.3} ---");
+        println!(
+            "constellation (min distance {:.3}, Gray penalty {:.2}):",
+            c.min_distance(),
+            c.gray_penalty()
+        );
+        println!("{}", ascii_constellation(c.points(), 1.6, 20));
+        println!("decision regions:");
+        println!("{}", ascii_regions(&report.grid, 40));
+        println!(
+            "extraction: {} missing, Voronoi disagreement {:.2}%",
+            report.missing_labels.len(),
+            100.0 * report.voronoi_disagreement
+        );
+    }
+    println!("\nAt low SNR the optimiser spreads points unevenly (power is");
+    println!("spent on separating cluster groups); at high SNR the layout");
+    println!("approaches a lattice — the behaviour reported for trainable");
+    println!("constellations in the paper's references [1, 4].");
+}

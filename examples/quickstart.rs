@@ -1,0 +1,55 @@
+//! Quickstart: train the autoencoder, extract centroids, compare the
+//! three receivers of the paper on a clean AWGN channel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybridem::comm::channel::Awgn;
+use hybridem::core::config::SystemConfig;
+use hybridem::core::eval::markdown_table;
+use hybridem::core::pipeline::HybridPipeline;
+use hybridem::core::viz::ascii_constellation;
+
+fn main() {
+    // The paper's case study at SNR (Eb/N0) = 8 dB, with a training
+    // budget that finishes in a few seconds.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.snr_db = 8.0;
+    println!("== hybridem quickstart ==");
+    println!(
+        "16-QAM-order autoencoder, demapper {:?}, SNR {} dB (Eb/N0)",
+        cfg.demapper.dims, cfg.snr_db
+    );
+
+    // Phase 1: end-to-end training over the abstract AWGN channel.
+    let mut pipe = HybridPipeline::new(cfg);
+    let loss = pipe.e2e_train();
+    println!("\nE2E training done, tail BCE loss = {loss:.4}");
+    println!("\nLearned constellation (labels are symbol indices):");
+    println!(
+        "{}",
+        ascii_constellation(pipe.constellation().points(), 1.6, 24)
+    );
+
+    // Phase 3 entry: sample decision regions, extract centroids.
+    let report = pipe.extract_centroids();
+    println!(
+        "Extraction: {} centroids, {} missing regions, Voronoi disagreement {:.2}%",
+        report.centroids.len(),
+        report.missing_labels.len(),
+        100.0 * report.voronoi_disagreement
+    );
+
+    // Compare the paper's three receivers on the operating channel.
+    let channel = Awgn::from_es_n0_db(pipe.config().es_n0_db());
+    let points = pipe.evaluate_three(&channel, 400_000, 7);
+    println!("\nBER comparison ({} symbols/receiver):", 400_000);
+    println!("{}", markdown_table(&points));
+
+    let theory = hybridem::comm::theory::ber_qam16_gray(pipe.config().es_n0_db());
+    println!("Closed-form Gray 16-QAM BER at this SNR: {theory:.4e}");
+    println!("\nThe hybrid receiver demaps with the conventional max-log");
+    println!("algorithm on the extracted centroids — same BER class as the");
+    println!("ANN, at a fraction of the hardware cost (see hardware_report).");
+}

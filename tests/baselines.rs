@@ -1,0 +1,70 @@
+//! Integration: the hybrid extraction against the classical data-aided
+//! baseline (pilot conditional means). On a pure phase-offset channel
+//! both must compensate; the comparison isolates what the learned
+//! decision regions contribute beyond a constellation shift.
+
+use hybridem::comm::channel::{Channel, ChannelChain};
+use hybridem::comm::linksim::{simulate_link, LinkSpec};
+use hybridem::core::config::SystemConfig;
+use hybridem::core::hybrid::HybridDemapper;
+use hybridem::core::pilot_centroids::estimate_from_pilots;
+use hybridem::core::pipeline::HybridPipeline;
+
+#[test]
+fn pilot_baseline_and_extraction_both_compensate_rotation() {
+    let theta = std::f32::consts::FRAC_PI_4;
+    let mut cfg = SystemConfig::fast_test();
+    cfg.e2e_steps = 2500;
+    cfg.batch_size = 256;
+    cfg.retrain_steps = 800;
+    cfg.grid_n = 96;
+    let snr_es = cfg.es_n0_db();
+    let sigma = cfg.sigma();
+
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let _ = pipe.extract_centroids();
+    let learned = pipe.constellation();
+
+    // Baseline: conditional means of pilots through the live channel.
+    let mut live = ChannelChain::phase_then_awgn(theta, snr_es);
+    let pilot_constellation = estimate_from_pilots(&learned, &mut live, 64_000, 5);
+    let pilot_demapper = HybridDemapper::from_centroids(pilot_constellation, sigma);
+
+    // Paper's route: retrain the ANN, re-extract.
+    let mut live = ChannelChain::phase_then_awgn(theta, snr_es);
+    let _ = pipe.retrain(&mut live);
+    let extracted_demapper = pipe.hybrid_demapper().unwrap();
+
+    let channel = ChannelChain::phase_then_awgn(theta, snr_es);
+    let symbols = 150_000;
+    let ber_pilot = simulate_link(&LinkSpec::new(
+        &learned,
+        &channel as &dyn Channel,
+        &pilot_demapper,
+        symbols,
+        31,
+    ))
+    .ber();
+    let ber_extracted = simulate_link(&LinkSpec::new(
+        &learned,
+        &channel as &dyn Channel,
+        extracted_demapper,
+        symbols,
+        32,
+    ))
+    .ber();
+
+    // Both compensate the rotation: an uncompensated receiver sits
+    // near BER 0.3; both of these must be an order of magnitude below.
+    assert!(ber_pilot < 0.05, "pilot baseline failed: {ber_pilot}");
+    assert!(ber_extracted < 0.05, "extraction failed: {ber_extracted}");
+    // And they land in the same class (within 2× of each other): for a
+    // pure rotation the ANN cannot beat the matched-constellation
+    // baseline, and extraction should not trail it badly either.
+    let ratio = ber_extracted / ber_pilot.max(1e-6);
+    assert!(
+        (0.3..4.0).contains(&ratio),
+        "pilot {ber_pilot} vs extracted {ber_extracted}"
+    );
+}

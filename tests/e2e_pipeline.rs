@@ -1,0 +1,86 @@
+//! Cross-crate integration: the full hybrid flow from training to
+//! deployment, asserting the paper's qualitative claims end to end.
+
+use hybridem::comm::channel::Awgn;
+use hybridem::comm::snr::ebn0_to_esn0_db;
+use hybridem::comm::theory::ber_qam16_gray;
+use hybridem::core::config::SystemConfig;
+use hybridem::core::pipeline::{HybridPipeline, Phase};
+
+fn trained_pipeline(snr_db: f64) -> HybridPipeline {
+    let mut cfg = SystemConfig::fast_test().at_snr(snr_db);
+    cfg.e2e_steps = 2500;
+    cfg.batch_size = 256;
+    cfg.grid_n = 96;
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let _ = pipe.extract_centroids();
+    pipe
+}
+
+#[test]
+fn fig2_point_all_three_receivers_on_one_level() {
+    // One Fig. 2 operating point at 8 dB: conventional, AE and hybrid
+    // must land in the same BER class, near the closed-form curve.
+    let pipe = trained_pipeline(8.0);
+    assert_eq!(pipe.phase(), Phase::Inference);
+    let channel = Awgn::from_es_n0_db(pipe.config().es_n0_db());
+    let points = pipe.evaluate_three(&channel, 200_000, 1);
+    let theory = ber_qam16_gray(ebn0_to_esn0_db(8.0, 4));
+
+    let conventional = points[0].ber;
+    let ae = points[1].ber;
+    let hybrid = points[2].ber;
+    // Conventional matches theory within Monte-Carlo confidence.
+    assert!(
+        points[0].bit_errors as f64 > 50.0,
+        "need errors for a meaningful comparison"
+    );
+    assert!(
+        (conventional / theory - 1.0).abs() < 0.25,
+        "conventional {conventional} vs theory {theory}"
+    );
+    // The learned system tracks the conventional one (paper Fig. 2).
+    assert!(ae < conventional * 2.0, "ae {ae} vs conventional {conventional}");
+    assert!(hybrid < ae * 1.6, "hybrid {hybrid} vs ae {ae}");
+    // Mutual information is near one bit per bit at this SNR.
+    assert!(points[1].mi > 0.9, "AE MI {}", points[1].mi);
+}
+
+#[test]
+fn learned_constellation_is_sane() {
+    let pipe = trained_pipeline(8.0);
+    let c = pipe.constellation();
+    assert_eq!(c.size(), 16);
+    assert!((c.avg_energy() - 1.0).abs() < 1e-4, "power constraint");
+    // A converged 16-point constellation at 8 dB has a minimum distance
+    // in the same class as 16-QAM's (0.632); allow a generous floor.
+    assert!(c.min_distance() > 0.3, "min distance {}", c.min_distance());
+}
+
+#[test]
+fn extraction_is_deterministic() {
+    let a = trained_pipeline(8.0);
+    let b = trained_pipeline(8.0);
+    let ra = a.extraction_report().unwrap();
+    let rb = b.extraction_report().unwrap();
+    assert_eq!(ra.centroids.len(), rb.centroids.len());
+    for (x, y) in ra.centroids.iter().zip(&rb.centroids) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "bit-identical replay");
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}
+
+#[test]
+fn centroid_voronoi_consistency_is_tight_after_training() {
+    let pipe = trained_pipeline(8.0);
+    let report = pipe.extraction_report().unwrap();
+    // The paper's premise: the trained demapper's decision regions act
+    // like a Voronoi diagram of the extracted centroids.
+    assert!(
+        report.voronoi_disagreement < 0.25,
+        "disagreement {}",
+        report.voronoi_disagreement
+    );
+    assert!(report.missing_labels.len() <= 2);
+}

@@ -1,0 +1,155 @@
+//! Integration: the simulated FPGA datapaths are faithful stand-ins —
+//! the quantised designs reproduce the float receivers' decisions, and
+//! the Table-2 hardware relationships hold for a *trained* system.
+
+use hybridem::comm::channel::{Awgn, Channel};
+use hybridem::comm::demapper::Demapper;
+use hybridem::comm::linksim::{simulate_link, LinkSpec};
+use hybridem::core::config::SystemConfig;
+use hybridem::core::pipeline::HybridPipeline;
+use hybridem::fpga::builder::{build_inference_design, DeployConfig};
+use hybridem::fpga::demapper_accel::SoftDemapperConfig;
+use hybridem::fpga::device::DeviceModel;
+use hybridem::fpga::power::PowerModel;
+use hybridem::fpga::trainer::{TrainerConfig, TrainerDesign};
+use hybridem::mathkit::complex::C32;
+use hybridem::mathkit::rng::Xoshiro256pp;
+
+fn trained() -> HybridPipeline {
+    let mut cfg = SystemConfig::fast_test();
+    cfg.e2e_steps = 2000;
+    cfg.batch_size = 256;
+    cfg.grid_n = 96;
+    let mut pipe = HybridPipeline::new(cfg);
+    let _ = pipe.e2e_train();
+    let _ = pipe.extract_centroids();
+    pipe
+}
+
+fn calibration(pipe: &HybridPipeline, n: usize) -> Vec<C32> {
+    let sigma = pipe.config().sigma();
+    let c = pipe.constellation();
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    (0..n)
+        .map(|i| {
+            let p = c.point(i % 16);
+            C32::new(p.re + sigma * rng.normal_f32(), p.im + sigma * rng.normal_f32())
+        })
+        .collect()
+}
+
+#[test]
+fn quantised_inference_agrees_with_float_decisions() {
+    let pipe = trained();
+    let design = build_inference_design(
+        pipe.ann_demapper().model(),
+        &calibration(&pipe, 1024),
+        &DeployConfig::default(),
+    );
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    let mut llr = [0f32; 4];
+    for y in calibration(&pipe, 2000) {
+        let hw = design.process_iq(y);
+        pipe.ann_demapper().llrs(y, &mut llr);
+        for k in 0..4 {
+            // Hard decisions: hw probability > 0.5 ⇔ float LLR < 0.
+            let hw_bit = hw[k] > 0.5;
+            let f_bit = llr[k] < 0.0;
+            // Skip marginal samples where 8-bit quantisation may flip.
+            if (hw[k] - 0.5).abs() > 0.05 {
+                total += 1;
+                agree += usize::from(hw_bit == f_bit);
+            }
+        }
+    }
+    let rate = agree as f64 / total as f64;
+    assert!(rate > 0.995, "decision agreement {rate} over {total} bits");
+}
+
+#[test]
+fn hardware_demapper_ber_matches_software_hybrid() {
+    let pipe = trained();
+    let sigma = pipe.config().sigma();
+    let hybrid_sw = pipe.hybrid_demapper().unwrap();
+    let hw = hybrid_sw.to_hardware(SoftDemapperConfig::paper_default());
+
+    // Wrap the bit-exact accelerator as a link demapper.
+    struct HwWrap(hybridem::fpga::builder::SoftDemapperDesign);
+    impl Demapper for HwWrap {
+        fn bits_per_symbol(&self) -> usize {
+            self.0.accel.bits_per_symbol()
+        }
+        fn llrs(&self, y: C32, out: &mut [f32]) {
+            self.0.accel.llrs_f32(y, out);
+        }
+    }
+    let hw = HwWrap(hw);
+
+    let constellation = pipe.constellation();
+    let channel = Awgn::new(sigma);
+    let symbols = 150_000;
+    let sw_ber = simulate_link(&LinkSpec::new(
+        &constellation,
+        &channel as &dyn Channel,
+        hybrid_sw,
+        symbols,
+        3,
+    ))
+    .ber();
+    let hw_ber = simulate_link(&LinkSpec::new(
+        &constellation,
+        &channel as &dyn Channel,
+        &hw,
+        symbols,
+        3,
+    ))
+    .ber();
+    // 8-bit coordinates cost a few percent at most.
+    assert!(
+        hw_ber < sw_ber * 1.25 + 1e-4,
+        "hardware BER {hw_ber} vs software {sw_ber}"
+    );
+}
+
+#[test]
+fn table2_relationships_for_trained_system() {
+    let pipe = trained();
+    let power = PowerModel::default();
+    let device = DeviceModel::zu3eg();
+
+    let hybrid = pipe
+        .hybrid_demapper()
+        .unwrap()
+        .to_hardware(SoftDemapperConfig::paper_default())
+        .report(&power);
+    let inference = build_inference_design(
+        pipe.ann_demapper().model(),
+        &calibration(&pipe, 512),
+        &DeployConfig::default(),
+    )
+    .report(&power);
+    let trainer = TrainerDesign::new(TrainerConfig::paper_default()).report(&power);
+
+    // Everything fits the paper's part.
+    assert!(device.fits(&hybrid.usage));
+    assert!(device.fits(&inference.usage));
+    assert!(device.fits(&trainer.usage));
+
+    // Paper's Table-2 anchors.
+    assert_eq!(inference.usage.dsp, 352);
+    assert_eq!(hybrid.usage.dsp, 1);
+    assert!((inference.usage.bram36 - 18.5).abs() < 1e-9);
+
+    // Orderings and rough magnitudes.
+    let r = hybrid.ratios_vs(&inference);
+    assert!(r.dsp >= 350.0);
+    assert!(r.lut > 3.0, "LUT ratio {}", r.lut);
+    assert!(r.power > 4.0, "power ratio {}", r.power);
+    assert!(r.energy > 20.0, "energy ratio {}", r.energy);
+    assert!(r.throughput > 4.0, "throughput ratio {}", r.throughput);
+    assert!(trainer.usage.ff > inference.usage.ff);
+    assert!(trainer.usage.bram36 > inference.usage.bram36);
+    assert!(trainer.latency_s > inference.latency_s);
+    assert!(trainer.power_w > hybrid.power_w * 5.0);
+}
