@@ -29,7 +29,11 @@ fn bench_demappers(c: &mut Criterion) {
     let calib: Vec<C32> = (0..256)
         .map(|_| C32::new(rng.normal_f32(), rng.normal_f32()))
         .collect();
-    let hw = build_inference_design(pipe.ann_demapper().model(), &calib, &DeployConfig::default());
+    let hw = build_inference_design(
+        pipe.ann_demapper().model(),
+        &calib,
+        &DeployConfig::default(),
+    );
 
     let samples: Vec<C32> = (0..512)
         .map(|_| C32::new(rng.normal_f32() * 0.7, rng.normal_f32() * 0.7))

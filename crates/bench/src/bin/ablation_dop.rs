@@ -9,9 +9,7 @@ use hybridem_fixed::QFormat;
 use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
 use hybridem_fpga::power::PowerModel;
 use hybridem_mathkit::matrix::Matrix;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct DopRow {
     simd: usize,
     pe: usize,
@@ -24,6 +22,19 @@ struct DopRow {
     power_w: f64,
     energy_per_input_nj: f64,
 }
+
+hybridem_mathkit::impl_to_json!(DopRow {
+    simd,
+    pe,
+    dsp,
+    lut,
+    ii_cycles,
+    depth_cycles,
+    latency_ns,
+    throughput_msym_s,
+    power_w,
+    energy_per_input_nj,
+});
 
 fn main() {
     banner(
@@ -88,7 +99,12 @@ fn main() {
     // The invariant behind the trade-off: DSP × II = MAC count.
     println!("\nDSP·II invariant (≈256 = the layer's MAC count):");
     for r in &rows {
-        println!("  simd={:2} pe={:2}: DSP·II = {}", r.simd, r.pe, r.dsp * r.ii_cycles);
+        println!(
+            "  simd={:2} pe={:2}: DSP·II = {}",
+            r.simd,
+            r.pe,
+            r.dsp * r.ii_cycles
+        );
     }
 
     let path = write_json("ablation_dop.json", &rows);

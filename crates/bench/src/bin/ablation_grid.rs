@@ -10,9 +10,7 @@ use hybridem_core::config::SystemConfig;
 use hybridem_core::extraction::{extract, ExtractionConfig};
 use hybridem_core::hybrid::HybridDemapper;
 use hybridem_core::pipeline::HybridPipeline;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct GridRow {
     grid_n: usize,
     voronoi_disagreement: f64,
@@ -21,6 +19,15 @@ struct GridRow {
     centroid_drift_vs_finest: f64,
     extraction_samples: usize,
 }
+
+hybridem_mathkit::impl_to_json!(GridRow {
+    grid_n,
+    voronoi_disagreement,
+    missing,
+    hybrid_ber,
+    centroid_drift_vs_finest,
+    extraction_samples,
+});
 
 fn main() {
     banner(
@@ -52,7 +59,13 @@ fn main() {
             &constellation,
         );
         let hybrid = HybridDemapper::from_extraction(&report, sigma);
-        let spec = LinkSpec::new(&constellation, &channel as &dyn Channel, &hybrid, symbols, 23);
+        let spec = LinkSpec::new(
+            &constellation,
+            &channel as &dyn Channel,
+            &hybrid,
+            symbols,
+            23,
+        );
         let ber = simulate_link(&spec).ber();
         let drift = report
             .centroids
@@ -68,7 +81,10 @@ fn main() {
             centroid_drift_vs_finest: drift,
             extraction_samples: n * n,
         });
-        eprintln!("grid {n:3}² → vdis {:.3}, BER {ber:.4e}", report.voronoi_disagreement);
+        eprintln!(
+            "grid {n:3}² → vdis {:.3}, BER {ber:.4e}",
+            report.voronoi_disagreement
+        );
     }
 
     println!("\n| grid | samples | Voronoi disagreement | missing labels | max centroid drift | hybrid BER |");

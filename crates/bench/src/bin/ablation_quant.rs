@@ -14,7 +14,6 @@ use hybridem_fixed::QFormat;
 use hybridem_fpga::builder::{build_inference_design, DeployConfig, InferenceDesign};
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::Xoshiro256pp;
-use serde::Serialize;
 
 /// Adapter: the quantised FPGA datapath as a link-level demapper.
 struct HwDemapper {
@@ -35,13 +34,19 @@ impl Demapper for HwDemapper {
     }
 }
 
-#[derive(Serialize)]
 struct QuantRow {
     bits: u32,
     ber_quantised: f64,
     ber_float: f64,
     penalty_pct: f64,
 }
+
+hybridem_mathkit::impl_to_json!(QuantRow {
+    bits,
+    ber_quantised,
+    ber_float,
+    penalty_pct,
+});
 
 fn main() {
     banner(
@@ -61,7 +66,10 @@ fn main() {
     let calibration: Vec<_> = (0..2048)
         .map(|i| {
             let p = constellation.point(i % 16);
-            C32::new(p.re + sigma * rng.normal_f32(), p.im + sigma * rng.normal_f32())
+            C32::new(
+                p.re + sigma * rng.normal_f32(),
+                p.im + sigma * rng.normal_f32(),
+            )
         })
         .collect();
 
@@ -93,7 +101,10 @@ fn main() {
             ber_float,
             penalty_pct: 100.0 * (ber / ber_float - 1.0),
         });
-        eprintln!("{bits:2} bits → BER {ber:.4e} ({:+.1}% vs float)", 100.0 * (ber / ber_float - 1.0));
+        eprintln!(
+            "{bits:2} bits → BER {ber:.4e} ({:+.1}% vs float)",
+            100.0 * (ber / ber_float - 1.0)
+        );
     }
 
     println!("\n| weight/act bits | BER (quantised) | BER (f32) | penalty |");

@@ -11,14 +11,18 @@ use hybridem_core::adapt::{AdaptThresholds, AdaptationController, Recommendation
 use hybridem_core::config::SystemConfig;
 use hybridem_core::pipeline::HybridPipeline;
 use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct TriggerRow {
     theta_rad: f32,
     pilot_frames_to_trigger: Option<usize>,
     ecc_frames_to_trigger: Option<usize>,
 }
+
+hybridem_mathkit::impl_to_json!(TriggerRow {
+    theta_rad,
+    pilot_frames_to_trigger,
+    ecc_frames_to_trigger,
+});
 
 const FRAME_SYMBOLS: usize = 256;
 const MAX_FRAMES: usize = 200;

@@ -8,9 +8,7 @@ use hybridem_comm::channel::ChannelChain;
 use hybridem_comm::theory::ber_qam16_gray;
 use hybridem_core::config::SystemConfig;
 use hybridem_core::pipeline::HybridPipeline;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Table1Row {
     snr_db: f64,
     baseline_ber: f64,
@@ -24,6 +22,20 @@ struct Table1Row {
     paper_ae_after: f64,
     paper_centroid_after: f64,
 }
+
+hybridem_mathkit::impl_to_json!(Table1Row {
+    snr_db,
+    baseline_ber,
+    ae_before,
+    centroid_before,
+    ae_after,
+    centroid_after,
+    paper_baseline,
+    paper_ae_before,
+    paper_centroid_before,
+    paper_ae_after,
+    paper_centroid_after,
+});
 
 fn main() {
     banner(

@@ -63,7 +63,9 @@ fn main() {
     println!("| Design | Latency [s] | Throughput [sym/s] | BRAM | DSP | FF | LUT | Power [W] | Energy [J/sym] |");
     println!("|---|---|---|---|---|---|---|---|---|");
     println!("| Soft-demapper (learned centroids) | 5.33e-8 | 7.50e7 | 0 | 1 | 1042 | 1107 | 5.5e-2 | 7.33e-10 |");
-    println!("| AE-inference | 8.10e-8 | 1.23e7 | 18.5 | 352 | 10895 | 11343 | 4.53e-1 | 3.67e-8 |");
+    println!(
+        "| AE-inference | 8.10e-8 | 1.23e7 | 18.5 | 352 | 10895 | 11343 | 4.53e-1 | 3.67e-8 |"
+    );
     println!("| AE-training | 2.67e-7 | 3.75e6 | 89 | 343 | 19013 | 19793 | 5.47e-1 | 1.46e-7 |");
 
     let ratios = ours[0].ratios_vs(&ours[1]);
@@ -102,8 +104,10 @@ fn main() {
         n
     );
     let n_ae = device.max_instances(&ours[1].usage, 1.0);
-    println!("vs {n_ae} AE-inference instance(s) (DSP-limited) → {:.2} Gbit/s.",
-        n_ae as f64 * ours[1].throughput_sym_s * 4.0 / 1e9);
+    println!(
+        "vs {n_ae} AE-inference instance(s) (DSP-limited) → {:.2} Gbit/s.",
+        n_ae as f64 * ours[1].throughput_sym_s * 4.0 / 1e9
+    );
 
     let path = write_json("table2_hardware.json", &ours);
     println!("\nartefact: {path:?}");

@@ -18,7 +18,7 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use hybridem_mathkit::json::ToJson;
 use std::path::{Path, PathBuf};
 
 /// Directory where experiment artefacts are written.
@@ -30,9 +30,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes a serialisable artefact as pretty JSON under `results/`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(name);
-    let json = serde_json::to_string_pretty(value).expect("serialise artefact");
+    let json = hybridem_mathkit::json::to_string_pretty(value);
     std::fs::write(&path, json).expect("write artefact");
     path
 }
@@ -55,7 +55,9 @@ pub fn banner(title: &str, paper_ref: &str) {
 /// Returns true when the caller asked for a reduced-budget run
 /// (`HYBRIDEM_QUICK=1`) — used by CI and smoke tests.
 pub fn quick_mode() -> bool {
-    std::env::var("HYBRIDEM_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HYBRIDEM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Standard experiment budgets, cut by 8× under [`quick_mode`].
@@ -79,7 +81,9 @@ mod tests {
     #[test]
     fn artefact_round_trip() {
         std::env::set_var("HYBRIDEM_RESULTS", "/tmp/hybridem-bench-test");
-        let p = write_json("test.json", &serde_json::json!({"x": 1}));
+        let artefact =
+            hybridem_mathkit::json::Json::object([("x", hybridem_mathkit::json::Json::Int(1))]);
+        let p = write_json("test.json", &artefact);
         assert_written(&p);
         let p = write_text("test.txt", "hello");
         assert_written(&p);

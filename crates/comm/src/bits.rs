@@ -11,8 +11,8 @@ use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
 #[inline]
 pub fn unpack_bits(index: usize, m: usize, out: &mut [u8]) {
     debug_assert!(out.len() >= m);
-    for k in 0..m {
-        out[k] = ((index >> (m - 1 - k)) & 1) as u8;
+    for (k, o) in out.iter_mut().enumerate().take(m) {
+        *o = ((index >> (m - 1 - k)) & 1) as u8;
     }
 }
 

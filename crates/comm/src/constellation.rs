@@ -8,10 +8,9 @@
 
 use crate::bits::{bit_of, gray};
 use hybridem_mathkit::complex::{avg_power, C32};
-use serde::{Deserialize, Serialize};
 
 /// A labelled constellation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Constellation {
     points: Vec<C32>,
     bits_per_symbol: usize,
@@ -22,7 +21,10 @@ impl Constellation {
     /// label. The number of points must be a power of two ≥ 2.
     pub fn from_points(points: Vec<C32>) -> Self {
         let m = points.len();
-        assert!(m >= 2 && m.is_power_of_two(), "constellation size {m} not 2^k");
+        assert!(
+            m >= 2 && m.is_power_of_two(),
+            "constellation size {m} not 2^k"
+        );
         Self {
             bits_per_symbol: m.trailing_zeros() as usize,
             points,

@@ -78,25 +78,25 @@ impl Demapper for ExactLogMap {
         for (i, &c) in pts.iter().enumerate() {
             metrics[i] = -(y.dist_sqr(c) as f64) / self.two_sigma_sqr as f64;
         }
-        for k in 0..m {
+        for (k, o) in out.iter_mut().enumerate().take(m) {
             // Stable two-set log-sum-exp.
             let (mut max0, mut max1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-            for i in 0..pts.len() {
+            for (i, &mi) in metrics.iter().enumerate().take(pts.len()) {
                 if self.constellation.bit(i, k) == 0 {
-                    max0 = max0.max(metrics[i]);
+                    max0 = max0.max(mi);
                 } else {
-                    max1 = max1.max(metrics[i]);
+                    max1 = max1.max(mi);
                 }
             }
             let (mut s0, mut s1) = (0f64, 0f64);
-            for i in 0..pts.len() {
+            for (i, &mi) in metrics.iter().enumerate().take(pts.len()) {
                 if self.constellation.bit(i, k) == 0 {
-                    s0 += (metrics[i] - max0).exp();
+                    s0 += (mi - max0).exp();
                 } else {
-                    s1 += (metrics[i] - max1).exp();
+                    s1 += (mi - max1).exp();
                 }
             }
-            out[k] = ((max0 + s0.ln()) - (max1 + s1.ln())) as f32;
+            *o = ((max0 + s0.ln()) - (max1 + s1.ln())) as f32;
         }
     }
 }
@@ -183,8 +183,8 @@ impl Demapper for HardNearest {
     fn llrs(&self, y: C32, out: &mut [f32]) {
         let m = self.bits_per_symbol();
         let u = self.constellation.nearest(y);
-        for k in 0..m {
-            out[k] = if self.constellation.bit(u, k) == 0 {
+        for (k, o) in out.iter_mut().enumerate().take(m) {
+            *o = if self.constellation.bit(u, k) == 0 {
                 1.0
             } else {
                 -1.0
@@ -213,8 +213,8 @@ mod tests {
             let y = qam16().point(u);
             for demapper in [&exact as &dyn Demapper, &maxlog, &hard] {
                 demapper.hard_decide(y, &mut bits);
-                for k in 0..4 {
-                    assert_eq!(bits[k], bit_of(u, 4, k), "symbol {u} bit {k}");
+                for (k, &b) in bits.iter().enumerate() {
+                    assert_eq!(b, bit_of(u, 4, k), "symbol {u} bit {k}");
                 }
             }
         }
@@ -271,7 +271,10 @@ mod tests {
         a.llrs(y, &mut la);
         b.llrs(y, &mut lb);
         for k in 0..4 {
-            assert!((la[k] / lb[k] - 4.0).abs() < 1e-3, "σ² ratio 4 ⇒ LLR ratio 4");
+            assert!(
+                (la[k] / lb[k] - 4.0).abs() < 1e-3,
+                "σ² ratio 4 ⇒ LLR ratio 4"
+            );
         }
     }
 
@@ -304,8 +307,8 @@ mod tests {
         let mut bits = [0u8; 4];
         for u in 0..16 {
             maxlog.hard_decide(rot.point(u), &mut bits);
-            for k in 0..4 {
-                assert_eq!(bits[k], bit_of(u, 4, k));
+            for (k, &b) in bits.iter().enumerate() {
+                assert_eq!(b, bit_of(u, 4, k));
             }
         }
     }

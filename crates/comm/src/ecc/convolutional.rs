@@ -104,17 +104,16 @@ impl Viterbi {
             let mut new_metric = vec![NEG; n_states];
             let mut dec = [0u8; ConvCode::STATES];
             let mut pred = [0usize; ConvCode::STATES];
-            for state in 0..n_states {
-                if metric[state] == NEG {
+            for (state, &state_metric) in metric.iter().enumerate().take(n_states) {
+                if state_metric == NEG {
                     continue;
                 }
                 for input in 0..2u8 {
                     let (g0, g1) = ConvCode::branch(state, input);
                     // Correlation metric: +LLR when the code bit is 0.
-                    let gain = (if g0 == 0 { l0 } else { -l0 })
-                        + (if g1 == 0 { l1 } else { -l1 });
+                    let gain = (if g0 == 0 { l0 } else { -l0 }) + (if g1 == 0 { l1 } else { -l1 });
                     let ns = ConvCode::next_state(state, input);
-                    let cand = metric[state] + gain;
+                    let cand = state_metric + gain;
                     if cand > new_metric[ns] {
                         new_metric[ns] = cand;
                         dec[ns] = input;
@@ -199,7 +198,10 @@ mod tests {
             rx[pos] ^= 1;
         }
         let out = vit.decode_hard(&code, &rx);
-        assert_eq!(out.bits, data, "free-distance-5 code must fix isolated flips");
+        assert_eq!(
+            out.bits, data,
+            "free-distance-5 code must fix isolated flips"
+        );
         assert_eq!(out.corrected, 4);
     }
 
@@ -212,7 +214,10 @@ mod tests {
         let vit = Viterbi::new();
         let data = random_bits(32, 17);
         let tx = code.encode(&data);
-        let mut llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        let mut llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 2.0 } else { -2.0 })
+            .collect();
         // Weakly flip three separated positions.
         for pos in [4usize, 20, 40] {
             llrs[pos] = -llrs[pos].signum() * 0.1;

@@ -13,10 +13,9 @@ use crate::constellation::Constellation;
 use crate::demapper::Demapper;
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
-use serde::{Deserialize, Serialize};
 
 /// The symbol layout of one frame.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FrameFormat {
     /// Pilot symbols at the head of the frame.
     pub pilot_symbols: usize,
@@ -109,11 +108,7 @@ pub struct FrameRx {
 }
 
 /// Demaps a received frame (same symbol count as the transmitted one).
-pub fn receive_frame(
-    format: FrameFormat,
-    demapper: &dyn Demapper,
-    received: &[C32],
-) -> FrameRx {
+pub fn receive_frame(format: FrameFormat, demapper: &dyn Demapper, received: &[C32]) -> FrameRx {
     assert_eq!(received.len(), format.total_symbols(), "frame length");
     let m = demapper.bits_per_symbol();
     let mut pilot_decisions = Vec::with_capacity(format.pilot_symbols * m);

@@ -140,13 +140,13 @@ fn simulate_block(spec: &LinkSpec<'_>, acc: &mut TaskAcc, rng: &mut Xoshiro256pp
     for (&u, &y) in tx_symbols.iter().zip(&block) {
         spec.demapper.llrs(y, &mut llr[..m]);
         let mut sym_err = false;
-        for k in 0..m {
+        for (k, &l) in llr.iter().enumerate().take(m) {
             let tx_bit = spec.constellation.bit(u, k);
-            let rx_bit = u8::from(llr[k] < 0.0);
+            let rx_bit = u8::from(l < 0.0);
             let err = tx_bit != rx_bit;
             sym_err |= err;
             acc.bits.push(err);
-            acc.mi.push(tx_bit, llr[k]);
+            acc.mi.push(tx_bit, l);
         }
         acc.syms.push(sym_err);
     }
@@ -235,7 +235,11 @@ mod tests {
         let demapper = MaxLogMap::new(c.clone(), sigma);
         let spec = LinkSpec::new(&c, &channel, &demapper, 100_000, 5);
         let r = simulate_link(&spec);
-        assert!(r.ber() > 0.2, "π/4 offset must be catastrophic: {}", r.ber());
+        assert!(
+            r.ber() > 0.2,
+            "π/4 offset must be catastrophic: {}",
+            r.ber()
+        );
         // MI collapses as well.
         assert!(r.mi.mi() < 0.3);
     }

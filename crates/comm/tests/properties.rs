@@ -1,7 +1,7 @@
 //! Property-based tests of the communication substrate.
 
 use hybridem_comm::bits::{bit_of, gray, gray_inverse, hamming_distance, pack_bits, unpack_bits};
-use hybridem_comm::channel::{Awgn, Channel, Cfo, ChannelChain, IqImbalance, PhaseOffset};
+use hybridem_comm::channel::{Awgn, Cfo, Channel, ChannelChain, IqImbalance, PhaseOffset};
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
 use hybridem_comm::ecc::{ConvCode, Hamming74, Viterbi};

@@ -15,10 +15,9 @@
 //! lower threshold.
 
 use hybridem_mathkit::stats::ErrorCounter;
-use serde::{Deserialize, Serialize};
 
 /// Trigger thresholds.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AdaptThresholds {
     /// Retrain when the pilot-BER Wilson lower bound exceeds this.
     pub ber_retrain: f64,
@@ -46,7 +45,7 @@ impl Default for AdaptThresholds {
 }
 
 /// What the controller recommends.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Recommendation {
     /// Keep operating; not enough evidence of degradation.
     Continue,

@@ -8,11 +8,11 @@
 //! every component agrees.
 
 use hybridem_comm::snr::{ebn0_to_esn0_db, noise_sigma};
+use hybridem_mathkit::json::{FromJson, Json, JsonError};
 use hybridem_nn::model::MlpSpec;
-use serde::{Deserialize, Serialize};
 
 /// Full experiment configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SystemConfig {
     /// Bits per symbol (4 = the paper's 16-QAM order).
     pub bits_per_symbol: usize,
@@ -108,8 +108,43 @@ impl SystemConfig {
             "demapper output must equal bits/symbol"
         );
         assert!(self.grid_n >= 16, "extraction grid too coarse");
-        assert!(self.window_scale > 1.0, "window must extend beyond the constellation");
+        assert!(
+            self.window_scale > 1.0,
+            "window must extend beyond the constellation"
+        );
         assert!(self.batch_size >= 16);
+    }
+}
+
+hybridem_mathkit::impl_to_json!(SystemConfig {
+    bits_per_symbol,
+    demapper,
+    snr_db,
+    e2e_steps,
+    retrain_steps,
+    batch_size,
+    e2e_lr,
+    retrain_lr,
+    grid_n,
+    window_scale,
+    seed,
+});
+
+impl FromJson for SystemConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bits_per_symbol: usize::from_json(v.field("bits_per_symbol")?)?,
+            demapper: MlpSpec::from_json(v.field("demapper")?)?,
+            snr_db: f64::from_json(v.field("snr_db")?)?,
+            e2e_steps: usize::from_json(v.field("e2e_steps")?)?,
+            retrain_steps: usize::from_json(v.field("retrain_steps")?)?,
+            batch_size: usize::from_json(v.field("batch_size")?)?,
+            e2e_lr: f32::from_json(v.field("e2e_lr")?)?,
+            retrain_lr: f32::from_json(v.field("retrain_lr")?)?,
+            grid_n: usize::from_json(v.field("grid_n")?)?,
+            window_scale: f64::from_json(v.field("window_scale")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+        })
     }
 }
 
@@ -158,11 +193,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = SystemConfig::paper_default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        let json = hybridem_mathkit::json::to_string(&c);
+        let back: SystemConfig = hybridem_mathkit::json::from_str(&json).unwrap();
         assert_eq!(back.snr_db, c.snr_db);
         assert_eq!(back.demapper, c.demapper);
+        assert_eq!(back.seed, c.seed);
     }
 }

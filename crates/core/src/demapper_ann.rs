@@ -45,7 +45,8 @@ impl NeuralDemapper {
 
     /// Bit probabilities `P(b_k = 1 | y)` for a batch.
     pub fn probabilities(&self, samples: &Matrix<f32>) -> Matrix<f32> {
-        self.logits(samples).map(hybridem_mathkit::special::sigmoid_f32)
+        self.logits(samples)
+            .map(hybridem_mathkit::special::sigmoid_f32)
     }
 
     /// Hard symbol decision for one sample: the label formed by the
@@ -109,9 +110,9 @@ mod tests {
             let y = C32::new(rng.normal_f32(), rng.normal_f32());
             let label = d.decide_symbol(y);
             d.llrs(y, &mut llr);
-            for k in 0..4 {
+            for (k, &l) in llr.iter().enumerate() {
                 let bit = (label >> (3 - k)) & 1;
-                assert_eq!(bit == 1, llr[k] < 0.0);
+                assert_eq!(bit == 1, l < 0.0);
             }
         }
     }

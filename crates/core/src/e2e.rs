@@ -100,7 +100,8 @@ impl E2eTrainer {
         mapper.backward(&grad_x);
 
         self.mapper_opt.step(&mut [mapper.param_mut()]);
-        self.demapper_opt.step(&mut demapper.model_mut().params_mut());
+        self.demapper_opt
+            .step(&mut demapper.model_mut().params_mut());
         self.loss_history.push(loss);
         loss
     }

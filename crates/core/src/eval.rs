@@ -14,10 +14,9 @@ use hybridem_comm::channel::Channel;
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::Demapper;
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
-use serde::{Deserialize, Serialize};
 
 /// One measured operating point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BerPoint {
     /// Receiver label.
     pub receiver: String,
@@ -36,6 +35,17 @@ pub struct BerPoint {
     /// Observed bit errors.
     pub bit_errors: u64,
 }
+
+hybridem_mathkit::impl_to_json!(BerPoint {
+    receiver,
+    snr_db,
+    ber,
+    ber_ci,
+    ser,
+    mi,
+    bits,
+    bit_errors,
+});
 
 /// Measures one receiver on one channel.
 pub fn measure(
@@ -63,7 +73,9 @@ pub fn measure(
 
 /// Renders points as a Markdown table (EXPERIMENTS.md format).
 pub fn markdown_table(points: &[BerPoint]) -> String {
-    let mut s = String::from("| Receiver | SNR [dB] | BER | 95% CI | SER | bitwise MI |\n|---|---|---|---|---|---|\n");
+    let mut s = String::from(
+        "| Receiver | SNR [dB] | BER | 95% CI | SER | bitwise MI |\n|---|---|---|---|---|---|\n",
+    );
     for p in points {
         s.push_str(&format!(
             "| {} | {} | {:.4e} | [{:.2e}, {:.2e}] | {:.4e} | {:.3} |\n",
@@ -89,7 +101,15 @@ mod tests {
         let qam = Constellation::qam_gray(16);
         let channel = Awgn::new(sigma);
         let demapper = MaxLogMap::new(qam.clone(), sigma);
-        let p = measure("conventional", snr_db, &qam, &channel, &demapper, 200_000, 3);
+        let p = measure(
+            "conventional",
+            snr_db,
+            &qam,
+            &channel,
+            &demapper,
+            200_000,
+            3,
+        );
         let theory = ber_qam16_gray(es_n0);
         assert!(
             p.ber_ci.0 * 0.8 <= theory && theory <= p.ber_ci.1 * 1.2,

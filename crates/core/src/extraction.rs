@@ -195,8 +195,7 @@ fn report_from_grid(
             let kept: Vec<_> = polys
                 .iter()
                 .filter(|p| {
-                    std::ptr::eq(*p, main)
-                        || (p.signed_area() < 0.0 && main.contains(p.centroid()))
+                    std::ptr::eq(*p, main) || (p.signed_area() < 0.0 && main.contains(p.centroid()))
                 })
                 .cloned()
                 .collect();
@@ -487,6 +486,9 @@ mod tests {
             }
             errs.push(err / count as f64);
         }
-        assert!(errs[2] <= errs[0] + 1e-4, "finer grids must not be worse: {errs:?}");
+        assert!(
+            errs[2] <= errs[0] + 1e-4,
+            "finer grids must not be worse: {errs:?}"
+        );
     }
 }

@@ -45,7 +45,8 @@ impl HybridDemapper {
 
     /// Swaps in freshly extracted centroids (after retraining).
     pub fn update_centroids(&mut self, report: &ExtractionReport) {
-        self.maxlog.set_constellation(report.centroid_constellation());
+        self.maxlog
+            .set_constellation(report.centroid_constellation());
     }
 
     /// Instantiates the FPGA accelerator for this demapper.
@@ -90,7 +91,9 @@ mod tests {
         let mut before = [0u8; 4];
         hybrid.hard_decide(y, &mut before);
         // Swap in a rotated set via a synthetic report-less path.
-        hybrid.maxlog.set_constellation(qam.rotated(std::f32::consts::FRAC_PI_2));
+        hybrid
+            .maxlog
+            .set_constellation(qam.rotated(std::f32::consts::FRAC_PI_2));
         let mut after = [0u8; 4];
         hybrid.hard_decide(y, &mut after);
         assert_ne!(before, after, "90° rotation must change decisions");

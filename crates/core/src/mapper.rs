@@ -77,7 +77,11 @@ impl NeuralMapper {
     /// Backward: scatter the batch gradient into table rows, then pull
     /// it through the power-norm Jacobian into the embedding gradient.
     pub fn backward(&mut self, grad_points: &Matrix<f32>) {
-        assert_eq!(grad_points.rows(), self.cached_indices.len(), "batch mismatch");
+        assert_eq!(
+            grad_points.rows(),
+            self.cached_indices.len(),
+            "batch mismatch"
+        );
         assert_eq!(grad_points.cols(), 2);
         // Scatter batch gradients to (normalised-)table gradients.
         let mut grad_table = Matrix::zeros(self.embedding.num_symbols(), 2);

@@ -24,10 +24,9 @@ use hybridem_comm::channel::Channel;
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::MaxLogMap;
 use hybridem_mathkit::rng::Xoshiro256pp;
-use serde::{Deserialize, Serialize};
 
 /// Which phase of Fig. 1 the system is in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Joint mapper+demapper training over the abstract channel.
     E2eTraining,
@@ -130,12 +129,7 @@ impl HybridPipeline {
     /// Measures the three receivers of the paper on a given channel:
     /// conventional Gray-QAM, AE-inference, and the hybrid centroid
     /// demapper. `symbols` per receiver.
-    pub fn evaluate_three(
-        &self,
-        channel: &dyn Channel,
-        symbols: u64,
-        seed: u64,
-    ) -> Vec<BerPoint> {
+    pub fn evaluate_three(&self, channel: &dyn Channel, symbols: u64, seed: u64) -> Vec<BerPoint> {
         let sigma = self.cfg.sigma();
         let snr = self.cfg.snr_db;
         let qam = Constellation::qam_gray(self.cfg.num_symbols());

@@ -2,13 +2,13 @@
 //! prints per-symbol centroid displacement and BER of every receiver
 //! at the paper's full training budget.
 
-use hybridem_core::config::SystemConfig;
-use hybridem_core::hybrid::HybridDemapper;
-use hybridem_core::pipeline::HybridPipeline;
 use hybridem_comm::channel::Awgn;
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::MaxLogMap;
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
+use hybridem_core::config::SystemConfig;
+use hybridem_core::hybrid::HybridDemapper;
+use hybridem_core::pipeline::HybridPipeline;
 
 #[test]
 #[ignore]
@@ -23,13 +23,24 @@ fn extraction_diagnostics() {
     let loss = pipe.e2e_train();
     println!("loss {loss}");
     let report = pipe.extract_centroids();
-    println!("missing {:?} comps {:?} vdis {}", report.missing_labels, report.components, report.voronoi_disagreement);
+    println!(
+        "missing {:?} comps {:?} vdis {}",
+        report.missing_labels, report.components, report.voronoi_disagreement
+    );
     let learned = pipe.constellation();
     for u in 0..16 {
         let p = learned.point(u);
         let c = report.centroids[u];
         let v = report.vertex_centroids[u];
-        println!("{u:2}: point ({:+.3},{:+.3}) mass ({:+.3},{:+.3}) d={:.3} vert {:?}", p.re, p.im, c.re, c.im, p.dist_sqr(c).sqrt(), v.map(|v|(v.re, v.im)));
+        println!(
+            "{u:2}: point ({:+.3},{:+.3}) mass ({:+.3},{:+.3}) d={:.3} vert {:?}",
+            p.re,
+            p.im,
+            c.re,
+            c.im,
+            p.dist_sqr(c).sqrt(),
+            v.map(|v| (v.re, v.im))
+        );
     }
     let sigma = pipe.config().sigma();
     let channel = Awgn::from_es_n0_db(pipe.config().es_n0_db());
@@ -42,7 +53,12 @@ fn extraction_diagnostics() {
     eval("hybrid-mass", pipe.hybrid_demapper().unwrap());
     let genie = MaxLogMap::new(learned.clone(), sigma);
     eval("genie-learned-points", &genie);
-    let vc: Vec<_> = report.vertex_centroids.iter().enumerate().map(|(u,v)| v.unwrap_or(report.centroids[u])).collect();
+    let vc: Vec<_> = report
+        .vertex_centroids
+        .iter()
+        .enumerate()
+        .map(|(u, v)| v.unwrap_or(report.centroids[u]))
+        .collect();
     let hv = HybridDemapper::from_centroids(Constellation::from_points(vc), sigma);
     eval("hybrid-vertex", &hv);
     let qam = Constellation::qam_gray(16);

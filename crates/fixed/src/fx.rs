@@ -9,10 +9,9 @@
 
 use crate::qformat::QFormat;
 use crate::rounding::Rounding;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-point value: raw integer plus format.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Fx {
     raw: i64,
     format: QFormat,
@@ -65,11 +64,7 @@ impl Fx {
         let f = self.format.frac_bits.max(other.format.frac_bits);
         let a = self.raw << (f - self.format.frac_bits);
         let b = other.raw << (f - other.format.frac_bits);
-        let int = self
-            .format
-            .int_bits()
-            .max(other.format.int_bits())
-            + 1;
+        let int = self.format.int_bits().max(other.format.int_bits()) + 1;
         let total = (int + f).min(63);
         Fx {
             raw: a + b,
@@ -122,7 +117,13 @@ impl Fx {
             rounding.shift_right(self.raw, self.format.frac_bits - target.frac_bits)
         };
         let (raw, clipped) = target.saturate(raw);
-        (Fx { raw, format: target }, clipped)
+        (
+            Fx {
+                raw,
+                format: target,
+            },
+            clipped,
+        )
     }
 
     /// Convenience: resize and discard the clipping flag.
@@ -185,10 +186,12 @@ mod tests {
 
     #[test]
     fn resize_rounds_and_saturates() {
-        let wide = Fx::from_f64(3.14159, q(24, 16), Rounding::Nearest);
+        let wide = Fx::from_f64(std::f64::consts::PI, q(24, 16), Rounding::Nearest);
         let (narrow, clipped) = wide.resize(q(8, 4), Rounding::Nearest);
         assert!(!clipped);
-        assert!((narrow.to_f64() - 3.14159).abs() <= q(8, 4).resolution() / 2.0 + 1e-9);
+        assert!(
+            (narrow.to_f64() - std::f64::consts::PI).abs() <= q(8, 4).resolution() / 2.0 + 1e-9
+        );
 
         let big = Fx::from_f64(100.0, q(16, 4), Rounding::Nearest);
         let (sat, clipped) = big.resize(q(8, 4), Rounding::Nearest);
@@ -232,6 +235,9 @@ mod tests {
             let p = xq.mul_exact(&wq);
             acc = p.add_exact(&acc).cast(acc_f, Rounding::Truncate);
         }
-        assert!((acc.to_f64() - exact).abs() < 1e-9, "accumulation must be exact");
+        assert!(
+            (acc.to_f64() - exact).abs() < 1e-9,
+            "accumulation must be exact"
+        );
     }
 }

@@ -7,10 +7,9 @@
 //! them to saturate and round exactly as the hardware would.
 
 use crate::rounding::Rounding;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-point number format.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QFormat {
     /// Total width in bits (1..=63 so raw values fit an `i64` with
     /// headroom for products).
@@ -148,7 +147,10 @@ impl QFormat {
     /// Panics if the product would exceed 63 bits.
     pub fn product(&self, other: &QFormat) -> QFormat {
         let total = self.total_bits + other.total_bits;
-        assert!(total <= 63, "product format {total} bits exceeds i64 headroom");
+        assert!(
+            total <= 63,
+            "product format {total} bits exceeds i64 headroom"
+        );
         QFormat {
             total_bits: total,
             frac_bits: self.frac_bits + other.frac_bits,
@@ -206,7 +208,10 @@ mod tests {
         for &v in &[0.0, 1.0, -1.0, 0.123, -3.9, 5.4321] {
             let raw = q.raw_from_f64(v, Rounding::Nearest);
             let back = q.f64_from_raw(raw);
-            assert!((back - v).abs() <= q.resolution() / 2.0 + 1e-12, "{v} → {back}");
+            assert!(
+                (back - v).abs() <= q.resolution() / 2.0 + 1e-12,
+                "{v} → {back}"
+            );
         }
     }
 

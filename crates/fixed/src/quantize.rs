@@ -9,10 +9,9 @@
 
 use crate::qformat::QFormat;
 use crate::rounding::Rounding;
-use serde::{Deserialize, Serialize};
 
 /// A tensor quantisation plan.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QuantSpec {
     /// The chosen fixed-point format.
     pub format: QFormat,
@@ -27,7 +26,10 @@ impl QuantSpec {
     ///
     /// `max_abs == 0` (an all-zero tensor) gets the all-fraction format.
     pub fn fit(total_bits: u32, max_abs: f64, rounding: Rounding) -> Self {
-        assert!((2..=32).contains(&total_bits), "unsupported width {total_bits}");
+        assert!(
+            (2..=32).contains(&total_bits),
+            "unsupported width {total_bits}"
+        );
         let int_bits = if max_abs <= 0.0 {
             0
         } else {

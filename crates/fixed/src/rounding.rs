@@ -5,10 +5,8 @@
 //! cheapest in hardware), round-half-away (`AP_RND`), and
 //! round-half-even (`AP_RND_CONV`, the DSP-friendly convergent mode).
 
-use serde::{Deserialize, Serialize};
-
 /// How to dispose of discarded fraction bits when narrowing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rounding {
     /// Drop the bits (floor for non-negative raws, toward −∞ in
     /// two's complement). Zero extra hardware.

@@ -176,7 +176,8 @@ pub fn build_inference_design(
     let mut in_fmt = cfg.input_format;
     let n = infos.len();
     for (i, info) in infos.iter().enumerate() {
-        let wspec = QuantSpec::fit_to_data(cfg.weight_bits, info.weight.as_slice(), Rounding::Nearest);
+        let wspec =
+            QuantSpec::fit_to_data(cfg.weight_bits, info.weight.as_slice(), Rounding::Nearest);
         let layer_out = if i + 1 == n {
             out_format
         } else {
@@ -307,8 +308,7 @@ mod tests {
     #[test]
     fn paper_inference_operating_point() {
         let model = trained_ish_model(4);
-        let design =
-            build_inference_design(&model, &calibration(128, 5), &DeployConfig::default());
+        let design = build_inference_design(&model, &calibration(128, 5), &DeployConfig::default());
         let r = design.resources();
         // The Table-2 anchors: 352 DSP, 18.5 BRAM.
         assert_eq!(r.dsp, 352);

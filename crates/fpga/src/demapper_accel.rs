@@ -64,21 +64,27 @@ impl SoftDemapperAccel {
     pub fn new(cfg: SoftDemapperConfig, centroids: &[C32], sigma: f32) -> Self {
         let m = centroids.len();
         assert!(m >= 2 && m.is_power_of_two(), "centroid count must be 2^k");
-        assert!(m.is_multiple_of(cfg.dist_par), "dist_par must divide centroid count");
+        assert!(
+            m.is_multiple_of(cfg.dist_par),
+            "dist_par must divide centroid count"
+        );
         assert!(sigma > 0.0);
         let quant: Vec<(i64, i64)> = centroids
             .iter()
             .map(|c| {
                 (
-                    cfg.coord_format.raw_from_f64(c.re as f64, Rounding::Nearest),
-                    cfg.coord_format.raw_from_f64(c.im as f64, Rounding::Nearest),
+                    cfg.coord_format
+                        .raw_from_f64(c.re as f64, Rounding::Nearest),
+                    cfg.coord_format
+                        .raw_from_f64(c.im as f64, Rounding::Nearest),
                 )
             })
             .collect();
         // The scale constant: unsigned, chosen with enough integer bits
         // for low-SNR (large 1/2σ²) operation.
         let scale_format = QFormat::unsigned(16, 8);
-        let scale_raw = scale_format.raw_from_f64(1.0 / (2.0 * sigma as f64 * sigma as f64), Rounding::Nearest);
+        let scale_raw =
+            scale_format.raw_from_f64(1.0 / (2.0 * sigma as f64 * sigma as f64), Rounding::Nearest);
         Self {
             bits_per_symbol: m.trailing_zeros() as usize,
             cfg,
@@ -136,9 +142,10 @@ impl SoftDemapperAccel {
         let dist_frac = 2 * f.frac_bits;
         let mut out = Vec::with_capacity(m);
         for k in 0..m {
-            let diff = min1[k] - min0[k]; // exact
-            // Multiply by the quantised 1/2σ² (one DSP): result fraction
-            // bits = dist_frac + scale_frac, then cast to llr_format.
+            // The subtraction is exact; multiplying by the quantised
+            // 1/2σ² (one DSP) gives dist_frac + scale_frac fraction
+            // bits, then a cast to llr_format.
+            let diff = min1[k] - min0[k];
             let prod = diff as i128 * self.scale_raw as i128;
             let shift = (dist_frac + self.scale_format.frac_bits) as i32
                 - self.cfg.llr_format.frac_bits as i32;
@@ -180,9 +187,15 @@ impl SoftDemapperAccel {
                 depth: tree_depth.max(waves),
             },
             // min1 − min0.
-            StageTiming { ii: waves, depth: 1 },
+            StageTiming {
+                ii: waves,
+                depth: 1,
+            },
             // DSP scale.
-            StageTiming { ii: waves, depth: 1 },
+            StageTiming {
+                ii: waves,
+                depth: 1,
+            },
         ];
         PipelineTiming::new(stages, ExecutionMode::Pipelined, self.cfg.clock_mhz)
     }
@@ -316,7 +329,10 @@ mod tests {
     fn uses_exactly_one_dsp() {
         let hw = accel(0.2);
         let r = hw.resources();
-        assert_eq!(r.dsp, 1, "the hybrid demapper must not consume the DSP column");
+        assert_eq!(
+            r.dsp, 1,
+            "the hybrid demapper must not consume the DSP column"
+        );
         assert_eq!(r.bram36, 0.0, "centroid ROM fits LUTRAM");
         // LUT/FF in the right magnitude (paper: 1107 LUT, 1042 FF).
         assert!(r.lut > 400 && r.lut < 4000, "LUT {}", r.lut);

@@ -1,10 +1,9 @@
 //! Target device models.
 
 use crate::resources::ResourceUsage;
-use serde::{Deserialize, Serialize};
 
 /// Resource capacities and default clock of an FPGA part.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceModel {
     /// Part name.
     pub name: String,

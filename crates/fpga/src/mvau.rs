@@ -59,8 +59,14 @@ pub struct MvauConfig {
 impl MvauConfig {
     /// Validates the folding factors.
     pub fn validate(&self) {
-        assert!(self.simd >= 1 && self.in_dim.is_multiple_of(self.simd), "simd must divide in_dim");
-        assert!(self.pe >= 1 && self.out_dim.is_multiple_of(self.pe), "pe must divide out_dim");
+        assert!(
+            self.simd >= 1 && self.in_dim.is_multiple_of(self.simd),
+            "simd must divide in_dim"
+        );
+        assert!(
+            self.pe >= 1 && self.out_dim.is_multiple_of(self.pe),
+            "pe must divide out_dim"
+        );
     }
 
     /// Fully-unfolded configuration (simd = in, pe = out): one result
@@ -137,7 +143,11 @@ impl Mvau {
             format: cfg.weight_format,
             rounding: Rounding::Nearest,
         };
-        let weights = weight.as_slice().iter().map(|&w| wspec.quantize(w)).collect();
+        let weights = weight
+            .as_slice()
+            .iter()
+            .map(|&w| wspec.quantize(w))
+            .collect();
         let acc = cfg.acc_format();
         let biases = bias
             .as_slice()
@@ -218,7 +228,7 @@ impl Mvau {
                 lut: 6,
                 ..Default::default()
             })
-            .times((cfg.pe * cfg.simd) as u64);
+        .times((cfg.pe * cfg.simd) as u64);
         // Per-PE SIMD adder tree at accumulator width.
         r += resources::reduction_tree(cfg.simd, resources::adder(acc.total_bits))
             .times(cfg.pe as u64);
@@ -239,11 +249,8 @@ impl Mvau {
                 ..Default::default()
             };
         } else {
-            r += resources::memory(
-                bits_per_pe,
-                cfg.weight_format.total_bits * cfg.simd as u32,
-            )
-            .times(cfg.pe as u64);
+            r += resources::memory(bits_per_pe, cfg.weight_format.total_bits * cfg.simd as u32)
+                .times(cfg.pe as u64);
         }
         // Activation units per PE.
         match &self.activation {
@@ -271,7 +278,11 @@ impl Mvau {
     /// inflated by a routing/congestion factor.
     pub fn critical_path_ns(&self) -> f64 {
         use crate::resources::delay_ns::*;
-        let mult = if self.cfg.weight_format.total_bits.min(self.cfg.in_format.total_bits)
+        let mult = if self
+            .cfg
+            .weight_format
+            .total_bits
+            .min(self.cfg.in_format.total_bits)
             >= resources::DSP_MULT_THRESHOLD
         {
             DSP_MULT
@@ -293,10 +304,7 @@ mod tests {
     }
 
     fn make_mvau(simd: usize, pe: usize, act: HwActivation) -> Mvau {
-        let w = Matrix::from_rows(&[
-            &[0.5f32, -0.25, 0.75, 0.125],
-            &[-0.5, 0.5, -0.125, 0.25],
-        ]);
+        let w = Matrix::from_rows(&[&[0.5f32, -0.25, 0.75, 0.125], &[-0.5, 0.5, -0.125, 0.25]]);
         let b = Matrix::from_rows(&[&[0.1f32, -0.2]]);
         let cfg = MvauConfig {
             in_dim: 4,
@@ -356,7 +364,10 @@ mod tests {
             .map(|&x| in_fmt.raw_from_f64(x as f64, Rounding::Nearest))
             .collect();
         let out = mvau.process(&raw);
-        assert!(out.iter().all(|&o| o >= 0), "ReLU output must be non-negative");
+        assert!(
+            out.iter().all(|&o| o >= 0),
+            "ReLU output must be non-negative"
+        );
     }
 
     #[test]
@@ -379,8 +390,7 @@ mod tests {
         let dims = [(2usize, 16usize), (16, 16), (16, 4)];
         let mut dsp = 0u64;
         for (i, o) in dims {
-            let cfg =
-                MvauConfig::full_parallel(i, o, fmt8_6(), fmt8_6(), fmt8_6(), true);
+            let cfg = MvauConfig::full_parallel(i, o, fmt8_6(), fmt8_6(), fmt8_6(), true);
             let w = Matrix::zeros(o, i);
             let b = Matrix::zeros(1, o);
             let m = Mvau::from_dense(cfg, &w, &b, HwActivation::Relu);
@@ -448,7 +458,10 @@ mod tests {
         };
         let ro = mk(false);
         let rw = mk(true);
-        assert_eq!(ro.bram36, 0.0, "256 small weights fit LUTRAM when read-only");
+        assert_eq!(
+            ro.bram36, 0.0,
+            "256 small weights fit LUTRAM when read-only"
+        );
         assert_eq!(rw.bram36, 8.0, "16 PEs × half-BRAM when runtime-writable");
     }
 

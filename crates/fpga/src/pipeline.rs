@@ -13,10 +13,8 @@
 //!   (HLS without `#pragma HLS dataflow`); II = end-to-end depth (the
 //!   paper's AE-inference and AE-training modules).
 
-use serde::{Deserialize, Serialize};
-
 /// Timing descriptor of one stage.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StageTiming {
     /// Initiation interval in cycles (≥1).
     pub ii: u64,
@@ -25,7 +23,7 @@ pub struct StageTiming {
 }
 
 /// Whether tokens overlap across the stage chain.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecutionMode {
     /// Stages overlap across tokens (dataflow).
     Pipelined,
@@ -34,7 +32,7 @@ pub enum ExecutionMode {
 }
 
 /// A chain of stages with a clock.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PipelineTiming {
     stages: Vec<StageTiming>,
     mode: ExecutionMode,

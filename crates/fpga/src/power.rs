@@ -18,10 +18,9 @@
 //! paper's Vivado report — EXPERIMENTS.md tracks both.
 
 use crate::resources::ResourceUsage;
-use serde::{Deserialize, Serialize};
 
 /// Linear activity-based power model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PowerModel {
     /// Static (leakage + clocking) power in watts.
     pub static_w: f64,

@@ -15,12 +15,11 @@
 //!   the idle one still leaking static power.
 
 use crate::report::ImplReport;
-use serde::{Deserialize, Serialize};
 
 /// Partial-reconfiguration throughput of the device's configuration
 /// port. ZU+ ICAP moves 32 bits at 200 MHz ≈ 800 MB/s; bitstream size
 /// scales with the reconfigured region.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ReconfigModel {
     /// Configuration port bandwidth in bytes/second.
     pub port_bytes_per_s: f64,
@@ -46,7 +45,7 @@ impl ReconfigModel {
 }
 
 /// One adaptation episode: how much retraining is needed and how often.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DutyCycle {
     /// Seconds between channel changes (mean time between retrains).
     pub period_s: f64,
@@ -66,7 +65,7 @@ impl DutyCycle {
 }
 
 /// Outcome of the time-sharing vs co-residency comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReconfigReport {
     /// Fraction of each period spent retraining (training + 2 swaps).
     pub training_duty: f64,
@@ -105,9 +104,8 @@ pub fn compare(
     let fpga_avg = trainer.power_w * training_duty + inference.power_w * (1.0 - training_duty);
     // Co-residency: inference always on; trainer active for its duty
     // and leaking when idle.
-    let co_avg = inference.power_w
-        + trainer.power_w * training_duty
-        + idle_static_w * (1.0 - training_duty);
+    let co_avg =
+        inference.power_w + trainer.power_w * training_duty + idle_static_w * (1.0 - training_duty);
 
     ReconfigReport {
         training_duty,
@@ -167,8 +165,11 @@ mod tests {
             0.05,
         );
         // 384k samples at 4 Msym/s ≈ 96 ms per 10 s period ⇒ ~1 %.
-        assert!(r.training_duty > 0.005 && r.training_duty < 0.02,
-            "duty {}", r.training_duty);
+        assert!(
+            r.training_duty > 0.005 && r.training_duty < 0.02,
+            "duty {}",
+            r.training_duty
+        );
         assert!(r.reconfig_overhead < 1e-3);
         // Time sharing beats co-residency (idle leakage dominates).
         assert!(r.fpga_avg_power_w < r.coresident_avg_power_w);

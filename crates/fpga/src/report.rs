@@ -1,10 +1,9 @@
 //! Implementation reports — Table-2-shaped summaries of a design.
 
 use crate::resources::ResourceUsage;
-use serde::{Deserialize, Serialize};
 
 /// One row of the hardware comparison table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ImplReport {
     /// Design name.
     pub name: String,
@@ -21,6 +20,16 @@ pub struct ImplReport {
     /// Energy per symbol in joules.
     pub energy_per_sym_j: f64,
 }
+
+hybridem_mathkit::impl_to_json!(ImplReport {
+    name,
+    clock_mhz,
+    latency_s,
+    throughput_sym_s,
+    usage,
+    power_w,
+    energy_per_sym_j,
+});
 
 impl ImplReport {
     /// Renders several reports as a Markdown table with the paper's
@@ -64,7 +73,7 @@ impl ImplReport {
 
 /// Metric ratios between two designs (value of the *other* design
 /// divided by this one; >1 means this design wins).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Ratios {
     /// Latency ratio.
     pub latency: f64,

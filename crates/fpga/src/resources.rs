@@ -8,11 +8,10 @@
 //! reproduction in EXPERIMENTS.md compares their outputs against the
 //! paper's reported utilisation.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// LUT/FF/DSP/BRAM usage of a module or design.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ResourceUsage {
     /// 6-input LUTs.
     pub lut: u64,
@@ -23,6 +22,13 @@ pub struct ResourceUsage {
     /// 36 Kb BRAM equivalents (0.5 = one 18 Kb half).
     pub bram36: f64,
 }
+
+hybridem_mathkit::impl_to_json!(ResourceUsage {
+    lut,
+    ff,
+    dsp,
+    bram36
+});
 
 impl ResourceUsage {
     /// The zero usage.
@@ -216,7 +222,11 @@ mod tests {
         assert!(small.lut > 0);
         // 18×27 fits one DSP; wider does not.
         assert_eq!(multiplier(18, 27).dsp, 1);
-        assert_eq!(multiplier(32, 32).dsp, 0, "bigger than one DSP → modelled as fabric");
+        assert_eq!(
+            multiplier(32, 32).dsp,
+            0,
+            "bigger than one DSP → modelled as fabric"
+        );
     }
 
     #[test]

@@ -102,11 +102,7 @@ impl TrainerDesign {
     /// Forward cycles: fully-unfolded MVAU chain, one cycle of multiply
     /// plus the adder tree per layer.
     pub fn forward_cycles(&self) -> u64 {
-        self.cfg
-            .dims
-            .windows(2)
-            .map(|w| 1 + ceil_log2(w[0]))
-            .sum()
+        self.cfg.dims.windows(2).map(|w| 1 + ceil_log2(w[0])).sum()
     }
 
     /// Backward cycles: loss gradient, then per layer (reversed) an
@@ -116,12 +112,7 @@ impl TrainerDesign {
     /// activation-derivative gating.
     pub fn backward_cycles(&self) -> u64 {
         let mut cycles = 1; // dL/dz = p − t at the output
-        let pairs: Vec<(usize, usize)> = self
-            .cfg
-            .dims
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let pairs: Vec<(usize, usize)> = self.cfg.dims.windows(2).map(|w| (w[0], w[1])).collect();
         for (li, &(_in_dim, out_dim)) in pairs.iter().enumerate().rev() {
             cycles += 2; // outer product dW = δ·aᵀ (multiply, accumulate)
             if li > 0 {
@@ -165,8 +156,7 @@ impl TrainerDesign {
 
     /// Training throughput in samples per second.
     pub fn throughput_per_s(&self) -> f64 {
-        let per_sample =
-            self.cycles_per_batch() as f64 / self.cfg.batch_size as f64;
+        let per_sample = self.cycles_per_batch() as f64 / self.cfg.batch_size as f64;
         self.cfg.clock_mhz * 1e6 / per_sample
     }
 
@@ -311,8 +301,7 @@ impl<'a> TrainerEngine<'a> {
 
         // Charge the modelled cost: cycles scale with the actual batch.
         let batch = inputs.rows() as u64;
-        let cycles =
-            batch * self.design.cycles_per_sample() + self.design.update_cycles();
+        let cycles = batch * self.design.cycles_per_sample() + self.design.update_cycles();
         let time_s = cycles as f64 / (self.design.config().clock_mhz * 1e6);
         let p = self.power.power_w(
             &self.design.resources(),
@@ -390,7 +379,12 @@ mod tests {
         for _ in 0..200 {
             last = engine.train_step(&mut model, &mut opt, &x, &t);
         }
-        assert!(last.loss < first.loss * 0.5, "{} vs {}", last.loss, first.loss);
+        assert!(
+            last.loss < first.loss * 0.5,
+            "{} vs {}",
+            last.loss,
+            first.loss
+        );
         assert!(engine.total_time_s > 0.0);
         assert!(engine.total_energy_j > 0.0);
         // Energy consistent with power × time.

@@ -130,13 +130,9 @@ mod tests {
     fn dominant_picks_largest() {
         // Label 1: one 2-cell blob, one larger blob.
         let g = LabelGrid::sample(Window::square(1.0), 16, 16, |p| {
-            if p.x > 0.6 && p.y > 0.6 {
-                1 // corner blob (small)
-            } else if p.x < -0.2 && p.y < -0.2 {
-                1 // bigger blob
-            } else {
-                0
-            }
+            // Two disjoint blobs share label 1: a small corner blob and
+            // a bigger quadrant blob.
+            u16::from((p.x > 0.6 && p.y > 0.6) || (p.x < -0.2 && p.y < -0.2))
         });
         let comps = label_components(&g);
         let dom = comps.dominant_of_label(1).unwrap() as usize;

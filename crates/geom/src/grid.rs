@@ -55,9 +55,17 @@ pub struct LabelGrid {
 impl LabelGrid {
     /// Samples `label_fn` at every cell centre of an `nx × ny` grid
     /// covering `window`.
-    pub fn sample(window: Window, nx: usize, ny: usize, mut label_fn: impl FnMut(Vec2) -> u16) -> Self {
+    pub fn sample(
+        window: Window,
+        nx: usize,
+        ny: usize,
+        mut label_fn: impl FnMut(Vec2) -> u16,
+    ) -> Self {
         assert!(nx >= 2 && ny >= 2, "grid too small");
-        assert!(window.width() > 0.0 && window.height() > 0.0, "empty window");
+        assert!(
+            window.width() > 0.0 && window.height() > 0.0,
+            "empty window"
+        );
         let mut labels = Vec::with_capacity(nx * ny);
         for iy in 0..ny {
             for ix in 0..nx {

@@ -80,11 +80,16 @@ mod tests {
 
     #[test]
     fn collinear_points_collapse() {
-        let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Vec2> = (0..5)
+            .map(|i| Vec2::new(i as f64, 2.0 * i as f64))
+            .collect();
         let hull = convex_hull(&pts);
         // Degenerate: endpoints only (monotone chain keeps the two
         // extremes of the line segment).
-        assert!(hull.len() <= 2, "collinear set must not form an area: {hull:?}");
+        assert!(
+            hull.len() <= 2,
+            "collinear set must not form an area: {hull:?}"
+        );
     }
 
     #[test]

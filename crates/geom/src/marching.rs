@@ -37,10 +37,7 @@ pub fn region_boundaries(grid: &LabelGrid, label: u16) -> Vec<Polygon> {
     let dx = w.width() / nx as f64;
     let dy = w.height() / ny as f64;
     let node = move |ix: usize, iy: usize| -> Vec2 {
-        Vec2::new(
-            w.x0 + (ix as f64 - 0.5) * dx,
-            w.y0 + (iy as f64 - 0.5) * dy,
-        )
+        Vec2::new(w.x0 + (ix as f64 - 0.5) * dx, w.y0 + (iy as f64 - 0.5) * dy)
     };
     let midpoint = move |e: EdgeKey| -> Vec2 {
         let a = node(e.0, e.1);
@@ -186,7 +183,10 @@ mod tests {
         assert!((p.area() - expect).abs() < 0.05, "area {}", p.area());
         // Vertex centroid ≈ disc centre.
         let c = boundary_centroid(&polys).unwrap();
-        assert!((c.x - 0.2).abs() < 0.02 && (c.y + 0.1).abs() < 0.02, "{c:?}");
+        assert!(
+            (c.x - 0.2).abs() < 0.02 && (c.y + 0.1).abs() < 0.02,
+            "{c:?}"
+        );
     }
 
     #[test]
@@ -196,8 +196,7 @@ mod tests {
         let g = disc_grid(64, 0.0, 0.0, 0.4);
         let polys = region_boundaries(&g, 0);
         assert_eq!(polys.len(), 2);
-        let (pos, neg): (Vec<_>, Vec<_>) =
-            polys.iter().partition(|p| p.signed_area() > 0.0);
+        let (pos, neg): (Vec<_>, Vec<_>) = polys.iter().partition(|p| p.signed_area() > 0.0);
         assert_eq!(pos.len(), 1, "one outer boundary");
         assert_eq!(neg.len(), 1, "one hole");
         // Signed-area combination gives window area − disc area.

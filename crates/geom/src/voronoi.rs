@@ -14,13 +14,7 @@ use hybridem_mathkit::vec2::Vec2;
 /// `[x0,x1] × [y0,y1]`. A site strictly outside the box may have an
 /// empty cell (`None`). Duplicate sites split nothing — the first
 /// occurrence wins the shared cell, later duplicates return `None`.
-pub fn voronoi_cells(
-    sites: &[Vec2],
-    x0: f64,
-    y0: f64,
-    x1: f64,
-    y1: f64,
-) -> Vec<Option<Polygon>> {
+pub fn voronoi_cells(sites: &[Vec2], x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<Option<Polygon>> {
     sites
         .iter()
         .enumerate()
@@ -137,7 +131,11 @@ mod tests {
 
     #[test]
     fn duplicate_sites_handled() {
-        let sites = [Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)];
+        let sites = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+        ];
         let cells = voronoi_cells(&sites, -2.0, -2.0, 2.0, 2.0);
         assert!(cells[0].is_some());
         assert!(cells[1].is_none(), "duplicate cedes to the first copy");

@@ -6,11 +6,10 @@
 //! interleaved I/Q buffers without copying.
 
 use crate::real::Real;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + j·im` over a [`Real`] scalar.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 #[repr(C)]
 pub struct Complex<T> {
     /// Real (in-phase) component.

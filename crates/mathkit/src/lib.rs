@@ -13,15 +13,18 @@
 //! - [`special`] — `erf`/`erfc`/Gaussian Q function (closed-form BER
 //!   baselines), numerically stable sigmoid/softplus/log-sum-exp;
 //! - [`rng`] — deterministic, splittable random number generation
-//!   (SplitMix64 seeding, xoshiro256++ streams, Gaussian sampling).
+//!   (SplitMix64 seeding, xoshiro256++ streams, Gaussian sampling);
+//! - [`json`] — from-scratch JSON tree, parser and serialiser backing
+//!   model checkpoints and experiment artefacts.
 //!
-//! Everything here is dependency-free (except `serde` derives) and
-//! deterministic so that higher-level experiments are exactly
-//! reproducible across thread counts and platforms.
+//! Everything here is dependency-free and deterministic so that
+//! higher-level experiments are exactly reproducible across thread
+//! counts and platforms.
 
 #![warn(missing_docs)]
 
 pub mod complex;
+pub mod json;
 pub mod linsolve;
 pub mod matrix;
 pub mod real;

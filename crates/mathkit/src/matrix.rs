@@ -7,11 +7,11 @@
 //! `ikj` matmul) so that training the paper's autoencoder is fast enough
 //! to run inside unit tests.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::real::Real;
-use serde::{Deserialize, Serialize};
 
 /// Dense row-major matrix.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
@@ -71,7 +71,11 @@ impl<T: Real> Matrix<T> {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -260,7 +264,10 @@ impl<T: Real> Matrix<T> {
     /// `selfᵀ · other` without materialising the transpose (the weight
     /// gradient `xᵀ·δ` of a dense layer).
     pub fn transpose_a_matmul(&self, other: &Self) -> Self {
-        assert_eq!(self.rows, other.rows, "transpose_a_matmul dimension mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul dimension mismatch"
+        );
         let mut out = Self::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row(k);
@@ -327,6 +334,31 @@ impl<T: Real> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
         debug_assert!(r < self.rows && c < self.cols);
         &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: ToJson> ToJson for Matrix<T> {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl<T: FromJson> FromJson for Matrix<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rows = usize::from_json(v.field("rows")?)?;
+        let cols = usize::from_json(v.field("cols")?)?;
+        let data = Vec::<T>::from_json(v.field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(JsonError::new(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
     }
 }
 
@@ -403,7 +435,10 @@ mod tests {
         let a = Matrix::<f64>::from_rows(&[&[1.0, -2.0]]);
         assert_eq!(a.map(|x| x.abs()), Matrix::from_rows(&[&[1.0, 2.0]]));
         let b = Matrix::<f64>::from_rows(&[&[3.0, 1.0]]);
-        assert_eq!(a.zip_map(&b, |x, y| x + y), Matrix::from_rows(&[&[4.0, -1.0]]));
+        assert_eq!(
+            a.zip_map(&b, |x, y| x + y),
+            Matrix::from_rows(&[&[4.0, -1.0]])
+        );
     }
 
     #[test]

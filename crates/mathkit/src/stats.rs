@@ -5,10 +5,8 @@
 //! interval so experiments can report how trustworthy each point is and
 //! tests can assert against closed-form theory without flakiness.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford's online mean/variance accumulator.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -90,7 +88,7 @@ impl Welford {
 
 /// Binomial error counter with Wilson-score confidence intervals —
 /// the unit of account of every BER simulation in the workspace.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ErrorCounter {
     errors: u64,
     trials: u64,
@@ -163,7 +161,7 @@ impl ErrorCounter {
 
 /// Fixed-bin histogram over `[lo, hi)`; out-of-range samples are clamped
 /// into the edge bins so mass is never silently dropped.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,11 +5,10 @@
 //! polygons and Voronoi cells in `hybridem-geom`.
 
 use crate::complex::C64;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A 2-D point or vector.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Vec2 {
     /// Horizontal component (in-phase axis).
     pub x: f64,
@@ -233,9 +232,18 @@ mod tests {
     fn orientation_predicate() {
         let a = Vec2::new(0.0, 0.0);
         let b = Vec2::new(1.0, 0.0);
-        assert_eq!(orientation(a, b, Vec2::new(0.0, 1.0), 1e-12), Orientation::Ccw);
-        assert_eq!(orientation(a, b, Vec2::new(0.0, -1.0), 1e-12), Orientation::Cw);
-        assert_eq!(orientation(a, b, Vec2::new(2.0, 0.0), 1e-12), Orientation::Collinear);
+        assert_eq!(
+            orientation(a, b, Vec2::new(0.0, 1.0), 1e-12),
+            Orientation::Ccw
+        );
+        assert_eq!(
+            orientation(a, b, Vec2::new(0.0, -1.0), 1e-12),
+            Orientation::Cw
+        );
+        assert_eq!(
+            orientation(a, b, Vec2::new(2.0, 0.0), 1e-12),
+            Orientation::Collinear
+        );
     }
 
     #[test]

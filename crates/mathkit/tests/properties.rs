@@ -13,11 +13,10 @@ fn finite_f64() -> impl Strategy<Value = f64> {
 }
 
 fn small_matrix() -> impl Strategy<Value = Matrix<f64>> {
-    (1usize..6, 1usize..6)
-        .prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-100.0f64..100.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data))
-        })
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
 }
 
 proptest! {

@@ -52,10 +52,8 @@ where
     // Numeric pass per coordinate.
     let mut max_rel = 0.0f64;
     let mut checked = 0usize;
-    let n_params = analytic.len();
-    for pi in 0..n_params {
-        let len = analytic[pi].len();
-        for k in 0..len {
+    for (pi, grads) in analytic.iter().enumerate() {
+        for (k, &a) in grads.iter().enumerate() {
             let orig = model.params_mut()[pi].value.as_mut_slice()[k];
             model.params_mut()[pi].value.as_mut_slice()[k] = orig + eps;
             let (lp, _) = loss_fn(&model.forward(input));
@@ -63,7 +61,7 @@ where
             let (lm, _) = loss_fn(&model.forward(input));
             model.params_mut()[pi].value.as_mut_slice()[k] = orig;
             let numeric = (lp as f64 - lm as f64) / (2.0 * eps as f64);
-            max_rel = max_rel.max(rel_err(analytic[pi][k] as f64, numeric));
+            max_rel = max_rel.max(rel_err(a as f64, numeric));
             checked += 1;
         }
     }
@@ -168,8 +166,7 @@ mod tests {
         let mut model = spec.build(&mut rng);
         let x = smooth_input(5, 2, 5);
         let labels = [0usize, 3, 1, 2, 3];
-        let rep =
-            check_model_grads(&mut model, &x, |z| cross_entropy_logits(z, &labels), 1e-3);
+        let rep = check_model_grads(&mut model, &x, |z| cross_entropy_logits(z, &labels), 1e-3);
         assert!(rep.max_rel_error < TOL, "rel err {}", rep.max_rel_error);
     }
 

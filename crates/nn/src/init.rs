@@ -86,8 +86,12 @@ mod tests {
         let m = Init::XavierUniform.sample(64, 64, &mut rng);
         let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
-        let var: f32 =
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(var > 1e-4);
     }
 }

@@ -8,11 +8,10 @@
 //! "one `forward`, then at most one `backward` for that forward".
 
 use hybridem_mathkit::matrix::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A trainable tensor: value and accumulated gradient, always the same
 /// shape. Optimisers walk `Vec<&mut Param>` collections.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Param {
     /// Current value.
     pub value: Matrix<f32>,

@@ -52,10 +52,7 @@ impl PowerNorm {
 
     /// Backward: full Jacobian as documented on the module.
     pub fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         assert_eq!(grad_out.shape(), x.shape(), "power-norm grad shape");
         let p = self.cached_power;
         let m = x.rows() as f32;
@@ -112,7 +109,10 @@ mod tests {
             .zip(t.as_slice())
             .map(|(&a, &b)| a * b)
             .sum();
-        assert!(dot.abs() < 1e-5, "directional derivative along x must vanish, got {dot}");
+        assert!(
+            dot.abs() < 1e-5,
+            "directional derivative along x must vanish, got {dot}"
+        );
     }
 
     #[test]

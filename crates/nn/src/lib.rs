@@ -17,7 +17,7 @@
 //! - [`loss`] — BCE (probability and fused-logit forms), MSE, softmax
 //!   cross-entropy;
 //! - [`optim`] — SGD (+momentum) and Adam;
-//! - [`model::Sequential`] — layer stacks with serde snapshots;
+//! - [`model::Sequential`] — layer stacks with JSON-snapshot round-trips;
 //! - [`grad_check`] — central-difference gradient verification used by
 //!   the test-suite on every layer and loss;
 //! - [`init`] / [`schedule`] — Xavier/He initialisation and learning

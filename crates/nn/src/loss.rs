@@ -64,9 +64,8 @@ pub fn cross_entropy_logits(z: &Matrix<f32>, labels: &[usize]) -> (f32, Matrix<f
     let b = z.rows() as f32;
     let mut grad = Matrix::zeros(z.rows(), z.cols());
     let mut loss = 0.0f64;
-    for r in 0..z.rows() {
+    for (r, &label) in labels.iter().enumerate() {
         let row = z.row(r);
-        let label = labels[r];
         assert!(label < z.cols(), "label {label} out of range");
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();

@@ -5,17 +5,17 @@
 //! demapper is `MlpSpec::paper_demapper()` = `2→16→16→4`,
 //! ReLU/ReLU/Sigmoid — see DESIGN.md §5 for why the 352-DSP figure in
 //! the paper's Table 2 pins down this topology). Snapshots serialise to
-//! JSON through serde so trained models can be checkpointed, shipped to
-//! the FPGA builder, and reloaded in tests.
+//! JSON through [`hybridem_mathkit::json`] so trained models can be
+//! checkpointed, shipped to the FPGA builder, and reloaded in tests.
 
 use crate::layer::{Layer, Param};
 use crate::layers::{Dense, Relu, Sigmoid, Tanh};
+use hybridem_mathkit::json::{FromJson, Json, JsonError, ToJson};
 use hybridem_mathkit::matrix::Matrix;
 use hybridem_mathkit::rng::Xoshiro256pp;
-use serde::{Deserialize, Serialize};
 
 /// Hidden/output activation choice for [`MlpSpec`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
@@ -28,7 +28,7 @@ pub enum Activation {
 }
 
 /// Declarative MLP description.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MlpSpec {
     /// Layer widths, `dims[0]` = input features, last = output features.
     pub dims: Vec<usize>,
@@ -156,7 +156,10 @@ impl Sequential {
 
     /// All trainable parameters in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Read-only parameters in layer order.
@@ -202,12 +205,12 @@ impl Sequential {
 
     /// JSON round-trip helpers.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.snapshot()).expect("snapshot serialisation")
+        hybridem_mathkit::json::to_string(&self.snapshot())
     }
 
     /// Restores a model from JSON produced by [`Sequential::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let snap: ModelSnapshot = serde_json::from_str(json)?;
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let snap: ModelSnapshot = hybridem_mathkit::json::from_str(json)?;
         Ok(Self::from_snapshot(snap))
     }
 
@@ -232,7 +235,7 @@ impl Sequential {
 }
 
 /// One serialised layer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum LayerSnapshot {
     /// Dense layer weights (`out × in`) and bias (`1 × out`).
     Dense {
@@ -250,12 +253,93 @@ pub enum LayerSnapshot {
 }
 
 /// A serialised model: architecture plus weights.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ModelSnapshot {
     /// Expected input feature count.
     pub input_dim: usize,
     /// Layers in application order.
     pub layers: Vec<LayerSnapshot>,
+}
+
+impl ToJson for Activation {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Linear => "linear",
+        };
+        name.to_json()
+    }
+}
+
+impl FromJson for Activation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "relu" => Ok(Activation::Relu),
+            "sigmoid" => Ok(Activation::Sigmoid),
+            "tanh" => Ok(Activation::Tanh),
+            "linear" => Ok(Activation::Linear),
+            other => Err(JsonError::new(format!("unknown activation `{other}`"))),
+        }
+    }
+}
+
+hybridem_mathkit::impl_to_json!(MlpSpec {
+    dims,
+    hidden,
+    output
+});
+
+impl FromJson for MlpSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            dims: Vec::from_json(v.field("dims")?)?,
+            hidden: Activation::from_json(v.field("hidden")?)?,
+            output: Activation::from_json(v.field("output")?)?,
+        })
+    }
+}
+
+impl ToJson for LayerSnapshot {
+    fn to_json(&self) -> Json {
+        match self {
+            LayerSnapshot::Dense { weight, bias } => Json::object([
+                ("kind", "dense".to_json()),
+                ("weight", weight.to_json()),
+                ("bias", bias.to_json()),
+            ]),
+            LayerSnapshot::Relu => Json::object([("kind", "relu".to_json())]),
+            LayerSnapshot::Sigmoid => Json::object([("kind", "sigmoid".to_json())]),
+            LayerSnapshot::Tanh => Json::object([("kind", "tanh".to_json())]),
+        }
+    }
+}
+
+impl FromJson for LayerSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("kind")?.as_str()? {
+            "dense" => Ok(LayerSnapshot::Dense {
+                weight: Matrix::from_json(v.field("weight")?)?,
+                bias: Matrix::from_json(v.field("bias")?)?,
+            }),
+            "relu" => Ok(LayerSnapshot::Relu),
+            "sigmoid" => Ok(LayerSnapshot::Sigmoid),
+            "tanh" => Ok(LayerSnapshot::Tanh),
+            other => Err(JsonError::new(format!("unknown layer kind `{other}`"))),
+        }
+    }
+}
+
+hybridem_mathkit::impl_to_json!(ModelSnapshot { input_dim, layers });
+
+impl FromJson for ModelSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            input_dim: usize::from_json(v.field("input_dim")?)?,
+            layers: Vec::from_json(v.field("layers")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +406,9 @@ mod tests {
             last = l;
         }
         assert!(last < 0.05, "XOR loss did not converge: {last}");
-        let probs = model.forward(&x).map(hybridem_mathkit::special::sigmoid_f32);
+        let probs = model
+            .forward(&x)
+            .map(hybridem_mathkit::special::sigmoid_f32);
         assert!(probs[(0, 0)] < 0.5 && probs[(3, 0)] < 0.5);
         assert!(probs[(1, 0)] > 0.5 && probs[(2, 0)] > 0.5);
     }

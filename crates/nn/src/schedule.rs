@@ -5,10 +5,8 @@
 //! to refine. These are pure functions of the step index so training
 //! remains replayable.
 
-use serde::{Deserialize, Serialize};
-
 /// A learning-rate schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LrSchedule {
     /// Constant rate.
     Constant {

@@ -3,7 +3,7 @@
 //! Thread-based data parallelism for the Monte-Carlo workloads in the
 //! workspace (BER sweeps need 10⁶–10⁷ simulated symbols per point).
 //!
-//! Built directly on `crossbeam`'s scoped threads in the spirit of the
+//! Built directly on `std::thread::scope` in the spirit of the
 //! Rayon model (fork–join over slices), but deliberately tiny and —
 //! crucially — **deterministic**: work is split into a fixed number of
 //! *tasks* that is independent of the worker count, and each task draws

@@ -30,14 +30,22 @@ impl MonteCarloPlan {
     /// determinism only requires that *the same plan* be replayed.
     pub fn new(trials: u64, seed: u64) -> Self {
         let tasks = (crate::util::num_threads() * 4).clamp(1, 256) as u32;
-        Self { trials, tasks, seed }
+        Self {
+            trials,
+            tasks,
+            seed,
+        }
     }
 
     /// Explicit task count (use in tests asserting thread-count
     /// invariance: fix `tasks`, vary `HYBRIDEM_THREADS`).
     pub fn with_tasks(trials: u64, tasks: u32, seed: u64) -> Self {
         assert!(tasks > 0, "at least one task");
-        Self { trials, tasks, seed }
+        Self {
+            trials,
+            tasks,
+            seed,
+        }
     }
 
     /// Number of trials assigned to task `i` (first tasks get the

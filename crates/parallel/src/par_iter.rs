@@ -35,14 +35,13 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let ranges = split_ranges(items.len(), threads);
-    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|s| {
+    let pieces: Vec<Vec<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .cloned()
             .map(|r| {
                 let f = &f;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     items[r.clone()]
                         .iter()
                         .enumerate()
@@ -51,11 +50,11 @@ where
                 })
             })
             .collect();
-        for h in handles {
-            pieces.push(h.join().expect("parallel worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
     let mut out = Vec::with_capacity(items.len());
     for p in pieces {
         out.extend(p);

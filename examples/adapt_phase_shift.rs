@@ -20,7 +20,10 @@ fn main() {
     cfg.snr_db = 8.0;
     let es_n0 = cfg.es_n0_db();
 
-    println!("== adaptability: π/4 phase offset at SNR {} dB ==", cfg.snr_db);
+    println!(
+        "== adaptability: π/4 phase offset at SNR {} dB ==",
+        cfg.snr_db
+    );
     let mut pipe = HybridPipeline::new(cfg);
     let _ = pipe.e2e_train();
     let report = pipe.extract_centroids();

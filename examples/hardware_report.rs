@@ -65,13 +65,16 @@ fn main() {
     let trainer = TrainerDesign::new(TrainerConfig::paper_default());
     let r_trainer = trainer.report(&power);
 
-    println!("\n{}", ImplReport::markdown_table(&[
-        r_hybrid.clone(),
-        r_inference.clone(),
-        r_trainer.clone(),
-    ]));
+    println!(
+        "\n{}",
+        ImplReport::markdown_table(&[r_hybrid.clone(), r_inference.clone(), r_trainer.clone(),])
+    );
 
-    for (name, r) in [("hybrid", &r_hybrid), ("AE-inference", &r_inference), ("AE-training", &r_trainer)] {
+    for (name, r) in [
+        ("hybrid", &r_hybrid),
+        ("AE-inference", &r_inference),
+        ("AE-training", &r_trainer),
+    ] {
         let (l, f, d, b) = device.utilization(&r.usage);
         println!(
             "{name:13} fits ZU3EG: {} (LUT {:.1}%, FF {:.1}%, DSP {:.1}%, BRAM {:.1}%)",

@@ -41,7 +41,10 @@ fn fig2_point_all_three_receivers_on_one_level() {
         "conventional {conventional} vs theory {theory}"
     );
     // The learned system tracks the conventional one (paper Fig. 2).
-    assert!(ae < conventional * 2.0, "ae {ae} vs conventional {conventional}");
+    assert!(
+        ae < conventional * 2.0,
+        "ae {ae} vs conventional {conventional}"
+    );
     assert!(hybrid < ae * 1.6, "hybrid {hybrid} vs ae {ae}");
     // Mutual information is near one bit per bit at this SNR.
     assert!(points[1].mi > 0.9, "AE MI {}", points[1].mi);

@@ -33,7 +33,10 @@ fn calibration(pipe: &HybridPipeline, n: usize) -> Vec<C32> {
     (0..n)
         .map(|i| {
             let p = c.point(i % 16);
-            C32::new(p.re + sigma * rng.normal_f32(), p.im + sigma * rng.normal_f32())
+            C32::new(
+                p.re + sigma * rng.normal_f32(),
+                p.im + sigma * rng.normal_f32(),
+            )
         })
         .collect()
 }

@@ -1,0 +1,188 @@
+//! Minimal, API-compatible stand-in for the
+//! [proptest](https://crates.io/crates/proptest) property-testing
+//! framework.
+//!
+//! The hybridem build environment has no network route to a crates.io
+//! mirror, so the workspace vendors this small local crate under the
+//! same package name. It implements the subset of the proptest 1.x API
+//! used by the workspace property tests: numeric range strategies,
+//! `any::<T>()`, tuple strategies, `proptest::collection::vec`,
+//! `Just`, `prop_oneof!`, the `prop_map` / `prop_filter` /
+//! `prop_flat_map` combinators, `ProptestConfig::with_cases`, the
+//! `proptest!` test macro and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream: inputs are sampled from a deterministic
+//! per-test RNG (seeded from the test name), there is **no shrinking**,
+//! and the default case count is 64 (override with the
+//! `PROPTEST_CASES` environment variable or `ProptestConfig::with_cases`).
+//! In a connected environment, replace the `proptest` entry in the root
+//! `[workspace.dependencies]` with `proptest = "1"`; no test-source
+//! changes are required.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` sampled inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self { cases }
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{SizeRange, Strategy, TestRng, VecStrategy};
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size` (a `usize`, `Range<usize>` or
+    /// `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Re-exported for `VecStrategy::generate` signatures.
+    pub use crate::strategy::TestRng as _TestRng;
+
+    #[allow(dead_code)]
+    fn _assert_usable(rng: &mut TestRng) {
+        let _ = vec(0u8..2, 3).sample(rng);
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ (<$crate::test_runner::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the items inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::strategy::TestRng::from_name(stringify!($name));
+            // Like upstream, `prop_assume!`-rejected samples do not count
+            // as executed cases: resample until `cases` bodies have run,
+            // within a bounded rejection budget.
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(100).max(1_000);
+            while executed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "property {} rejected too many samples ({} attempts for {} cases); \
+                     loosen the prop_assume! precondition or the strategies",
+                    stringify!($name),
+                    attempts,
+                    config.cases,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )*
+                let ran = (|| -> bool { $body; true })();
+                if ran {
+                    executed += 1;
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current sampled case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
