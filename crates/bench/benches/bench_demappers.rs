@@ -1,8 +1,10 @@
-//! Per-symbol demapping cost: the software view of Table 2's
-//! latency column — exact log-MAP vs max-log vs ANN inference vs the
-//! bit-exact quantised datapaths.
+//! Demapping cost: the software view of Table 2's latency column —
+//! exact log-MAP vs max-log vs ANN inference vs the bit-exact
+//! quantised datapaths — plus the block-size sweep that measures what
+//! the `demap_block` restructuring buys over the per-symbol path
+//! (1/16/256/4096 symbols per call).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::{Demapper, ExactLogMap, MaxLogMap};
 use hybridem_core::config::SystemConfig;
@@ -77,6 +79,48 @@ fn bench_demappers(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // Block-size sweep: the same demappers through `demap_block` at
+    // 1/16/256/4096 symbols per call, against a per-symbol `llrs` loop
+    // over the identical samples. Throughput is reported in symbols/s,
+    // so the block speedup reads straight off the Melem/s column.
+    let big: Vec<C32> = (0..4096)
+        .map(|_| C32::new(rng.normal_f32() * 0.7, rng.normal_f32() * 0.7))
+        .collect();
+    let ann = pipe.ann_demapper();
+    let mut sweep = c.benchmark_group("demap_block_sweep");
+    for &n in &[1usize, 16, 256, 4096] {
+        sweep.throughput(Throughput::Elements(n as u64));
+        let ys = &big[..n];
+        let mut block_out = vec![0f32; n * 4];
+        sweep.bench_with_input(BenchmarkId::new("max_log_block", n), &n, |b, _| {
+            b.iter(|| maxlog.demap_block(black_box(ys), &mut block_out))
+        });
+        sweep.bench_with_input(BenchmarkId::new("max_log_per_symbol", n), &n, |b, _| {
+            b.iter(|| {
+                for (y, chunk) in ys.iter().zip(block_out.chunks_exact_mut(4)) {
+                    maxlog.llrs(black_box(*y), chunk);
+                }
+            })
+        });
+        sweep.bench_with_input(BenchmarkId::new("exact_log_map_block", n), &n, |b, _| {
+            b.iter(|| exact.demap_block(black_box(ys), &mut block_out))
+        });
+        sweep.bench_with_input(BenchmarkId::new("ann_block", n), &n, |b, _| {
+            b.iter(|| ann.demap_block(black_box(ys), &mut block_out))
+        });
+        sweep.bench_with_input(BenchmarkId::new("ann_per_symbol", n), &n, |b, _| {
+            b.iter(|| {
+                for (y, chunk) in ys.iter().zip(block_out.chunks_exact_mut(4)) {
+                    ann.llrs(black_box(*y), chunk);
+                }
+            })
+        });
+        sweep.bench_with_input(BenchmarkId::new("accel_block", n), &n, |b, _| {
+            b.iter(|| accel.demap_block(black_box(ys), &mut block_out))
+        });
+    }
+    sweep.finish();
 }
 
 criterion_group!(benches, bench_demappers);

@@ -20,16 +20,31 @@ struct HwDemapper {
     design: InferenceDesign,
 }
 
+impl HwDemapper {
+    /// LLR(b=0 vs 1) from the quantised probability of bit=1.
+    fn llrs_from_probs(probs: &[f32], out: &mut [f32]) {
+        for (o, &p) in out.iter_mut().zip(probs) {
+            let p = f64::from(p).clamp(1e-3, 1.0 - 1e-3);
+            *o = -hybridem_mathkit::special::logit(p) as f32;
+        }
+    }
+}
+
 impl Demapper for HwDemapper {
     fn bits_per_symbol(&self) -> usize {
         4
     }
     fn llrs(&self, y: C32, out: &mut [f32]) {
-        let probs = self.design.process_iq(y);
-        for (o, &p) in out.iter_mut().zip(&probs) {
-            // LLR(b=0 vs 1) from the quantised probability of bit=1.
-            let p = f64::from(p).clamp(1e-3, 1.0 - 1e-3);
-            *o = -hybridem_mathkit::special::logit(p) as f32;
+        Self::llrs_from_probs(&self.design.process_iq(y), out);
+    }
+    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
+        // The quantised datapath processes one symbol per call, but the
+        // block override keeps the Monte-Carlo inner loop free of
+        // per-symbol virtual dispatch.
+        let m = self.bits_per_symbol();
+        assert_eq!(out.len(), ys.len() * m, "demap_block buffer size");
+        for (y, chunk) in ys.iter().zip(out.chunks_exact_mut(m)) {
+            Self::llrs_from_probs(&self.design.process_iq(*y), chunk);
         }
     }
 }

@@ -66,12 +66,8 @@ fn main() {
                 syms.push(constellation.point(u));
             }
             channel.transmit(&mut syms, &mut rng);
-            let mut rx_bits = Vec::with_capacity(FRAME_SYMBOLS * m);
-            let mut bits = [0u8; 16];
-            for &y in &syms {
-                hybrid.hard_decide(y, &mut bits);
-                rx_bits.extend_from_slice(&bits[..m]);
-            }
+            let mut rx_bits = vec![0u8; FRAME_SYMBOLS * m];
+            hybrid.hard_decide_block(&syms, &mut rx_bits);
             pilot_ctl.observe_pilot_bits(&tx_bits, &rx_bits);
 
             // ECC monitor: a genuinely coded payload (rate-1/2
@@ -89,14 +85,7 @@ fn main() {
                 csyms.push(constellation.point(hybridem_comm::bits::pack_bits(&word)));
             }
             channel.transmit(&mut csyms, &mut rng);
-            let mut llrs = Vec::with_capacity(csyms.len() * m);
-            let mut llr = [0f32; 16];
-            for &y in &csyms {
-                hybrid.llrs(y, &mut llr[..m]);
-                llrs.extend_from_slice(&llr[..m]);
-            }
-            llrs.truncate(coded.len());
-            let outcome = viterbi.decode_soft(&code, &llrs);
+            let outcome = viterbi.decode_demapped(&code, hybrid, &csyms, coded.len());
             ecc_ctl.observe_ecc(outcome.corrected, coded.len() as u64);
 
             if pilot_hit.is_none() && pilot_ctl.recommendation() == Recommendation::Retrain {

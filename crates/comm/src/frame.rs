@@ -107,23 +107,17 @@ pub struct FrameRx {
     pub payload_llrs: Vec<f32>,
 }
 
-/// Demaps a received frame (same symbol count as the transmitted one).
+/// Demaps a received frame (same symbol count as the transmitted one):
+/// one block hard-decide over the pilot prefix, one block demap over
+/// the payload.
 pub fn receive_frame(format: FrameFormat, demapper: &dyn Demapper, received: &[C32]) -> FrameRx {
     assert_eq!(received.len(), format.total_symbols(), "frame length");
     let m = demapper.bits_per_symbol();
-    let mut pilot_decisions = Vec::with_capacity(format.pilot_symbols * m);
-    let mut payload_llrs = Vec::with_capacity(format.payload_symbols * m);
-    let mut bits = [0u8; 16];
-    let mut llr = [0f32; 16];
-    for (i, &y) in received.iter().enumerate() {
-        if i < format.pilot_symbols {
-            demapper.hard_decide(y, &mut bits);
-            pilot_decisions.extend_from_slice(&bits[..m]);
-        } else {
-            demapper.llrs(y, &mut llr[..m]);
-            payload_llrs.extend_from_slice(&llr[..m]);
-        }
-    }
+    let (pilots, payload) = received.split_at(format.pilot_symbols);
+    let mut pilot_decisions = vec![0u8; pilots.len() * m];
+    demapper.hard_decide_block(pilots, &mut pilot_decisions);
+    let mut payload_llrs = vec![0f32; payload.len() * m];
+    demapper.demap_block(payload, &mut payload_llrs);
     FrameRx {
         pilot_decisions,
         payload_llrs,

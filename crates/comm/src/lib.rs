@@ -9,9 +9,11 @@
 //! - [`channel`] — composable channel models: AWGN, static phase offset
 //!   (the paper's adaptation case study), CFO, IQ imbalance, block
 //!   Rayleigh fading;
-//! - [`demapper`] — soft demappers producing bit LLRs: exact log-MAP
-//!   and the suboptimal **max-log** demapper of Robertson et al. 1995
-//!   that the paper runs on extracted centroids, plus hard decision;
+//! - [`demapper`] — block-oriented soft demappers producing bit LLRs
+//!   (primary entry point [`demapper::Demapper::demap_block`], see
+//!   DESIGN.md §7): exact log-MAP and the suboptimal **max-log**
+//!   demapper of Robertson et al. 1995 that the paper runs on
+//!   extracted centroids, plus hard decision;
 //! - [`metrics`] — BER/SER counting, bitwise mutual information, EVM;
 //! - [`ecc`] — outer codes used for retrain triggering: Hamming(7,4)
 //!   and a rate-1/2 convolutional code with hard/soft Viterbi;

@@ -1,7 +1,9 @@
 //! End-to-end link simulation: the Monte-Carlo BER engine.
 //!
 //! One simulation transmits random symbols from a constellation through
-//! a channel, demaps with any [`Demapper`], and counts bit and symbol
+//! a channel, demaps each channel block with one
+//! [`Demapper::demap_block`] call (no per-symbol virtual dispatch, no
+//! per-symbol allocation — see DESIGN.md §7), and counts bit and symbol
 //! errors plus bitwise mutual information. Parallel execution reuses
 //! the deterministic task-splitting Monte-Carlo runner, so every
 //! BER point in EXPERIMENTS.md is exactly reproducible from its seed.
@@ -80,6 +82,11 @@ struct TaskAcc {
     bits: ErrorCounter,
     syms: ErrorCounter,
     mi: BitwiseMiEstimator,
+    /// Per-task scratch, reused across blocks so the Monte-Carlo inner
+    /// loop allocates nothing after the first block.
+    tx_symbols: Vec<usize>,
+    block: Vec<C32>,
+    llrs: Vec<f32>,
 }
 
 /// Runs the simulation described by `spec`.
@@ -106,6 +113,9 @@ pub fn simulate_link(spec: &LinkSpec<'_>) -> LinkResult {
                 bits: ErrorCounter::new(),
                 syms: ErrorCounter::new(),
                 mi: BitwiseMiEstimator::new(),
+                tx_symbols: vec![0usize; spec.block_len],
+                block: vec![C32::zero(); spec.block_len],
+                llrs: vec![0f32; spec.block_len * m],
             }
         },
         |acc, rng| {
@@ -127,20 +137,19 @@ pub fn simulate_link(spec: &LinkSpec<'_>) -> LinkResult {
 
 fn simulate_block(spec: &LinkSpec<'_>, acc: &mut TaskAcc, rng: &mut Xoshiro256pp) {
     let m = spec.constellation.bits_per_symbol();
-    let n = spec.block_len;
-    let mut tx_symbols = vec![0usize; n];
-    let mut block = vec![C32::zero(); n];
-    for (s, y) in tx_symbols.iter_mut().zip(block.iter_mut()) {
+    for (s, y) in acc.tx_symbols.iter_mut().zip(acc.block.iter_mut()) {
         *s = (rng.next_u64() >> (64 - m)) as usize;
         *y = spec.constellation.point(*s);
     }
-    acc.channel.transmit(&mut block, rng);
+    acc.channel.transmit(&mut acc.block, rng);
 
-    let mut llr = [0f32; 16];
-    for (&u, &y) in tx_symbols.iter().zip(&block) {
-        spec.demapper.llrs(y, &mut llr[..m]);
+    // One block demap per channel block: no per-symbol virtual dispatch
+    // in the hottest loop of the workspace.
+    spec.demapper.demap_block(&acc.block, &mut acc.llrs);
+
+    for (&u, llr) in acc.tx_symbols.iter().zip(acc.llrs.chunks_exact(m)) {
         let mut sym_err = false;
-        for (k, &l) in llr.iter().enumerate().take(m) {
+        for (k, &l) in llr.iter().enumerate() {
             let tx_bit = spec.constellation.bit(u, k);
             let rx_bit = u8::from(l < 0.0);
             let err = tx_bit != rx_bit;

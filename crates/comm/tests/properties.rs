@@ -95,6 +95,52 @@ proptest! {
     }
 
     #[test]
+    fn demap_block_bit_exact_with_per_symbol_loop(
+        len in 0usize..40,
+        theta in -3.2f32..3.2,
+        sigma in 0.05f32..0.5,
+        seed in any::<u64>(),
+    ) {
+        // The block-demapping contract: for every conventional demapper
+        // family, `demap_block` equals a per-symbol `llrs` loop to the
+        // bit, across block lengths (incl. 0 and 1) and rotated
+        // centroid sets (the hybrid use-case).
+        let centroids = Constellation::qam_gray(16).rotated(theta);
+        let demappers: Vec<Box<dyn Demapper>> = vec![
+            Box::new(ExactLogMap::new(centroids.clone(), sigma)),
+            Box::new(MaxLogMap::new(centroids.clone(), sigma)),
+            Box::new(HardNearest::new(centroids.clone())),
+        ];
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let ys: Vec<C32> = (0..len)
+            .map(|_| C32::new(rng.normal_f32(), rng.normal_f32()))
+            .collect();
+        for d in &demappers {
+            let m = d.bits_per_symbol();
+            let mut block = vec![0f32; ys.len() * m];
+            d.demap_block(&ys, &mut block);
+            let mut single = vec![0f32; m];
+            for (s, &y) in ys.iter().enumerate() {
+                d.llrs(y, &mut single);
+                for k in 0..m {
+                    prop_assert_eq!(
+                        block[s * m + k].to_bits(),
+                        single[k].to_bits(),
+                        "symbol {} bit {}: block {} vs per-symbol {}",
+                        s, k, block[s * m + k], single[k]
+                    );
+                }
+            }
+            // Block hard decisions follow the same LLR signs.
+            let mut hard_block = vec![0u8; ys.len() * m];
+            d.hard_decide_block(&ys, &mut hard_block);
+            for (b, &l) in hard_block.iter().zip(&block) {
+                prop_assert_eq!(*b, u8::from(l < 0.0));
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_channels_preserve_energy_statistics(
         theta in -3.0f32..3.0, seed in any::<u64>()
     ) {

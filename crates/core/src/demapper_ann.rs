@@ -9,7 +9,29 @@
 use hybridem_comm::demapper::Demapper;
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::matrix::Matrix;
+use hybridem_nn::model::InferScratch;
 use hybridem_nn::Sequential;
+use std::cell::RefCell;
+
+/// Reusable buffers for the batched receiver path: the I/Q input
+/// matrix, the logits output and the model's internal ping-pong
+/// activations. One set per thread — the link simulator calls
+/// `demap_block` from many Monte-Carlo workers through `&dyn Demapper`,
+/// and thread-locals keep the path allocation-free after warm-up
+/// without serialising the workers behind a lock.
+struct BlockScratch {
+    input: Matrix<f32>,
+    logits: Matrix<f32>,
+    scratch: InferScratch,
+}
+
+thread_local! {
+    static BLOCK_SCRATCH: RefCell<BlockScratch> = RefCell::new(BlockScratch {
+        input: Matrix::zeros(0, 0),
+        logits: Matrix::zeros(0, 0),
+        scratch: InferScratch::new(),
+    });
+}
 
 /// A trained demapper network with receiver adapters.
 pub struct NeuralDemapper {
@@ -50,8 +72,8 @@ impl NeuralDemapper {
     }
 
     /// Hard symbol decision for one sample: the label formed by the
-    /// per-bit decisions (MSB first) — the sampling primitive of the
-    /// decision-region extraction.
+    /// per-bit decisions (MSB first). One-sample convenience over
+    /// [`NeuralDemapper::decide_symbols`].
     pub fn decide_symbol(&self, y: C32) -> usize {
         let z = self.logits(&Matrix::from_vec(1, 2, vec![y.re, y.im]));
         let m = self.bits_per_symbol();
@@ -60,6 +82,33 @@ impl NeuralDemapper {
             label = (label << 1) | usize::from(z[(0, k)] > 0.0);
         }
         label
+    }
+
+    /// Hard symbol decisions for a whole block in one batched
+    /// inference — the sampling primitive of the decision-region
+    /// extraction, which evaluates tens of thousands of grid points.
+    /// `out` is cleared and refilled with one label per sample.
+    pub fn decide_symbols(&self, ys: &[C32], out: &mut Vec<usize>) {
+        let m = self.bits_per_symbol();
+        out.clear();
+        out.reserve(ys.len());
+        // Chunked so the LLR staging buffer stays small and constant
+        // regardless of how many grid points the caller sweeps.
+        const CHUNK: usize = 1024;
+        let mut llrs = vec![0f32; CHUNK.min(ys.len()) * m];
+        for ys_c in ys.chunks(CHUNK) {
+            let llrs = &mut llrs[..ys_c.len() * m];
+            self.demap_block(ys_c, llrs);
+            for chunk in llrs.chunks_exact(m) {
+                let mut label = 0usize;
+                for &l in chunk {
+                    // LLR = −logit, so LLR < 0 ⇔ logit > 0 ⇔ bit 1:
+                    // the same decision rule as `decide_symbol`.
+                    label = (label << 1) | usize::from(l < 0.0);
+                }
+                out.push(label);
+            }
+        }
     }
 }
 
@@ -74,6 +123,37 @@ impl Demapper for NeuralDemapper {
         for k in 0..m {
             out[k] = -z[(0, k)];
         }
+    }
+
+    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
+        let m = self.bits_per_symbol();
+        assert_eq!(
+            out.len(),
+            ys.len() * m,
+            "demap_block output buffer must hold exactly {} LLRs",
+            ys.len() * m
+        );
+        if ys.is_empty() {
+            return;
+        }
+        // One N×2 batched inference for the whole block. Dense rows are
+        // independent dot products, so row r of the batch is
+        // bit-identical to a 1×2 inference of sample r — the property
+        // the block≡per-symbol tests pin down.
+        BLOCK_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.input.resize_to(ys.len(), 2);
+            for (row, y) in s.input.as_mut_slice().chunks_exact_mut(2).zip(ys) {
+                row[0] = y.re;
+                row[1] = y.im;
+            }
+            self.model
+                .infer_into(&s.input, &mut s.logits, &mut s.scratch);
+            debug_assert_eq!(s.logits.shape(), (ys.len(), m));
+            for (o, &z) in out.iter_mut().zip(s.logits.as_slice()) {
+                *o = -z;
+            }
+        });
     }
 }
 

@@ -123,11 +123,21 @@ pub fn extract(
     let num_labels = 1usize << m;
     assert_eq!(fallback.size(), num_labels, "fallback size mismatch");
 
-    // 1. Sample the decision regions.
+    // 1. Sample the decision regions — all grid cells in one batched
+    //    inference instead of grid_n² single-sample forward passes.
     let window = Window::square(cfg.halfwidth(fallback));
-    let grid = LabelGrid::sample(window, cfg.grid_n, cfg.grid_n, |p| {
-        demapper.decide_symbol(C32::new(p.x as f32, p.y as f32)) as u16
-    });
+    let centers: Vec<C32> = LabelGrid::cell_centers(window, cfg.grid_n, cfg.grid_n)
+        .iter()
+        .map(|p| C32::new(p.x as f32, p.y as f32))
+        .collect();
+    let mut labels = Vec::new();
+    demapper.decide_symbols(&centers, &mut labels);
+    let grid = LabelGrid::from_labels(
+        window,
+        cfg.grid_n,
+        cfg.grid_n,
+        labels.into_iter().map(|l| l as u16).collect(),
+    );
     report_from_grid(grid, num_labels, fallback, cfg)
 }
 

@@ -1,0 +1,84 @@
+//! Property tests of the block demapping contract for the learned
+//! receiver family: the ANN demapper's single batched inference and
+//! the hybrid centroid demapper's forwarded kernel are bit-exact with
+//! their per-symbol `llrs` loops.
+
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::Demapper;
+use hybridem_core::demapper_ann::NeuralDemapper;
+use hybridem_core::hybrid::HybridDemapper;
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::Xoshiro256pp;
+use hybridem_nn::model::MlpSpec;
+use proptest::prelude::*;
+
+fn random_block(len: usize, seed: u64) -> Vec<C32> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..len)
+        .map(|_| C32::new(rng.normal_f32(), rng.normal_f32()))
+        .collect()
+}
+
+fn assert_block_matches_per_symbol(d: &dyn Demapper, ys: &[C32]) {
+    let m = d.bits_per_symbol();
+    let mut block = vec![0f32; ys.len() * m];
+    d.demap_block(ys, &mut block);
+    let mut single = vec![0f32; m];
+    for (s, &y) in ys.iter().enumerate() {
+        d.llrs(y, &mut single);
+        for k in 0..m {
+            assert_eq!(
+                block[s * m + k].to_bits(),
+                single[k].to_bits(),
+                "symbol {s} bit {k}: block {} vs per-symbol {}",
+                block[s * m + k],
+                single[k]
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn neural_demapper_block_bit_exact(
+        len in 0usize..40,
+        model_seed in 0u64..32,
+        block_seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(model_seed);
+        let d = NeuralDemapper::new(MlpSpec::paper_demapper_logits().build(&mut rng));
+        assert_block_matches_per_symbol(&d, &random_block(len, block_seed));
+    }
+
+    #[test]
+    fn hybrid_demapper_block_bit_exact(
+        len in 0usize..40,
+        theta in -3.2f32..3.2,
+        sigma in 0.05f32..0.5,
+        block_seed in any::<u64>(),
+    ) {
+        // Rotated centroid sets: the post-retraining deployment case.
+        let centroids = Constellation::qam_gray(16).rotated(theta);
+        let d = HybridDemapper::from_centroids(centroids, sigma);
+        assert_block_matches_per_symbol(&d, &random_block(len, block_seed));
+    }
+
+    #[test]
+    fn neural_decide_symbols_matches_scalar_path(
+        len in 1usize..64,
+        model_seed in 0u64..16,
+        block_seed in any::<u64>(),
+    ) {
+        // The extraction sampling primitive: batched label decisions
+        // equal the one-sample decision rule.
+        let mut rng = Xoshiro256pp::seed_from_u64(model_seed);
+        let d = NeuralDemapper::new(MlpSpec::paper_demapper_logits().build(&mut rng));
+        let ys = random_block(len, block_seed);
+        let mut labels = Vec::new();
+        d.decide_symbols(&ys, &mut labels);
+        prop_assert_eq!(labels.len(), ys.len());
+        for (s, &y) in ys.iter().enumerate() {
+            prop_assert_eq!(labels[s], d.decide_symbol(y), "sample {}", s);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::pipeline::{ExecutionMode, PipelineTiming, StageTiming};
 use crate::resources::{self, ResourceUsage};
+use hybridem_comm::demapper::Demapper;
 use hybridem_fixed::{QFormat, Rounding};
 use hybridem_mathkit::complex::C32;
 
@@ -138,31 +139,125 @@ impl SoftDemapperAccel {
                 }
             }
         }
-        // Distance format: coord² has 2×frac fraction bits.
+        // Distance format: coord² has 2×frac fraction bits. The
+        // subtraction is exact; multiplying by the quantised 1/2σ² (one
+        // DSP) gives dist_frac + scale_frac fraction bits, then a cast
+        // to llr_format.
         let dist_frac = 2 * f.frac_bits;
-        let mut out = Vec::with_capacity(m);
-        for k in 0..m {
-            // The subtraction is exact; multiplying by the quantised
-            // 1/2σ² (one DSP) gives dist_frac + scale_frac fraction
-            // bits, then a cast to llr_format.
-            let diff = min1[k] - min0[k];
-            let prod = diff as i128 * self.scale_raw as i128;
-            let shift = (dist_frac + self.scale_format.frac_bits) as i32
-                - self.cfg.llr_format.frac_bits as i32;
-            let raw = if shift >= 0 {
-                (prod >> shift) as i64
-            } else {
-                (prod << (-shift)) as i64
-            };
-            let (raw, _) = self.cfg.llr_format.saturate(raw);
-            out.push(raw);
-        }
-        out
+        (0..m)
+            .map(|k| self.scale_raw_llr(min1[k] - min0[k], dist_frac))
+            .collect()
     }
 
     /// LLRs as f32 (dequantised) — the receiver-facing view.
     pub fn llrs_f32(&self, y: C32, out: &mut [f32]) {
         let raws = self.process(y);
+        for (o, &r) in out.iter_mut().zip(&raws) {
+            *o = self.cfg.llr_format.f64_from_raw(r) as f32;
+        }
+    }
+
+    /// Scales a min-difference to the raw LLR format (the DSP stage).
+    #[inline]
+    fn scale_raw_llr(&self, diff: i64, dist_frac: u32) -> i64 {
+        let prod = diff as i128 * self.scale_raw as i128;
+        let shift =
+            (dist_frac + self.scale_format.frac_bits) as i32 - self.cfg.llr_format.frac_bits as i32;
+        let raw = if shift >= 0 {
+            (prod >> shift) as i64
+        } else {
+            (prod << (-shift)) as i64
+        };
+        self.cfg.llr_format.saturate(raw).0
+    }
+
+    /// Bit-exact block demap: raw LLRs in `llr_format`, symbol-major
+    /// (`out.len() == ys.len() * bits_per_symbol`). This is the
+    /// streaming view of the pipelined datapath — inputs are quantised
+    /// once, then the centroid ROM is swept in the outer loop with the
+    /// per-bit running-min planes held across the whole block. Results
+    /// equal a [`SoftDemapperAccel::process`] loop exactly (integer
+    /// arithmetic throughout).
+    pub fn process_block(&self, ys: &[C32], out: &mut [i64]) {
+        let m = self.bits_per_symbol;
+        assert_eq!(
+            out.len(),
+            ys.len() * m,
+            "process_block output buffer must hold exactly {} LLRs",
+            ys.len() * m
+        );
+        if ys.len() <= 1 {
+            if let Some(&y) = ys.first() {
+                out.copy_from_slice(&self.process(y));
+            }
+            return;
+        }
+        // Tile so the running-min planes stay cache-resident (see
+        // `hybridem_comm::demapper::BLOCK_TILE`); symbols are
+        // independent, so tiling cannot change results.
+        const TILE: usize = hybridem_comm::demapper::BLOCK_TILE;
+        for (ys_t, out_t) in ys.chunks(TILE).zip(out.chunks_mut(TILE * m)) {
+            self.process_tile(ys_t, out_t);
+        }
+    }
+
+    /// Integer point-outer kernel over one cache-resident tile.
+    fn process_tile(&self, ys: &[C32], out: &mut [i64]) {
+        let m = self.bits_per_symbol;
+        let n = ys.len();
+        let f = self.cfg.coord_format;
+        let quant: Vec<(i64, i64)> = ys
+            .iter()
+            .map(|y| {
+                (
+                    f.raw_from_f64(y.re as f64, Rounding::Nearest),
+                    f.raw_from_f64(y.im as f64, Rounding::Nearest),
+                )
+            })
+            .collect();
+        let mut min0 = vec![i64::MAX; m * n];
+        let mut min1 = vec![i64::MAX; m * n];
+        let mut dist = vec![0i64; n];
+        for (i, &(c_re, c_im)) in self.centroids.iter().enumerate() {
+            for (d, &(y_re, y_im)) in dist.iter_mut().zip(&quant) {
+                let dr = y_re - c_re;
+                let di = y_im - c_im;
+                *d = dr * dr + di * di;
+            }
+            for k in 0..m {
+                let bit = (i >> (m - 1 - k)) & 1;
+                let plane = if bit == 0 {
+                    &mut min0[k * n..(k + 1) * n]
+                } else {
+                    &mut min1[k * n..(k + 1) * n]
+                };
+                for (p, &d) in plane.iter_mut().zip(&dist) {
+                    if d < *p {
+                        *p = d;
+                    }
+                }
+            }
+        }
+        let dist_frac = 2 * f.frac_bits;
+        for (s, chunk) in out.chunks_exact_mut(m).enumerate() {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = self.scale_raw_llr(min1[k * n + s] - min0[k * n + s], dist_frac);
+            }
+        }
+    }
+
+    /// Dequantised block demap (symbol-major f32 LLRs) — the
+    /// receiver-facing block view backing the [`Demapper`] impl.
+    pub fn llrs_f32_block(&self, ys: &[C32], out: &mut [f32]) {
+        let m = self.bits_per_symbol;
+        assert_eq!(
+            out.len(),
+            ys.len() * m,
+            "llrs_f32_block output buffer must hold exactly {} LLRs",
+            ys.len() * m
+        );
+        let mut raws = vec![0i64; ys.len() * m];
+        self.process_block(ys, &mut raws);
         for (o, &r) in out.iter_mut().zip(&raws) {
             *o = self.cfg.llr_format.f64_from_raw(r) as f32;
         }
@@ -251,11 +346,28 @@ impl SoftDemapperAccel {
     }
 }
 
+/// The accelerator is a drop-in receiver demapper: the bit-exact
+/// quantised datapath slots straight into the link simulator and the
+/// frame receiver through the workspace [`Demapper`] trait.
+impl Demapper for SoftDemapperAccel {
+    fn bits_per_symbol(&self) -> usize {
+        self.bits_per_symbol
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        self.llrs_f32(y, &mut out[..self.bits_per_symbol]);
+    }
+
+    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
+        self.llrs_f32_block(ys, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hybridem_comm::constellation::Constellation;
-    use hybridem_comm::demapper::{Demapper, MaxLogMap};
+    use hybridem_comm::demapper::MaxLogMap;
 
     fn accel(sigma: f32) -> SoftDemapperAccel {
         let c = Constellation::qam_gray(16);

@@ -1,7 +1,10 @@
 //! Property-based tests of the FPGA substrate: fold invariance,
 //! quantisation fidelity, timing and resource monotonicity.
 
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::Demapper;
 use hybridem_fixed::{QFormat, Rounding};
+use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
 use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
 use hybridem_fpga::pipeline::{ExecutionMode, PipelineTiming, StageTiming};
 use hybridem_fpga::power::PowerModel;
@@ -30,6 +33,41 @@ fn divisors(n: usize) -> Vec<usize> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn accel_block_bit_exact_with_per_symbol_process(
+        len in 0usize..33,
+        theta in -3.2f32..3.2,
+        sigma in 0.05f32..0.5,
+        seed in any::<u64>(),
+    ) {
+        // The fixed-point block kernel equals a per-symbol `process`
+        // loop exactly — integer arithmetic end to end — including on
+        // rotated centroid sets.
+        let centroids = Constellation::qam_gray(16).rotated(theta);
+        let accel = SoftDemapperAccel::new(
+            SoftDemapperConfig::paper_default(),
+            centroids.points(),
+            sigma,
+        );
+        let m = accel.bits_per_symbol();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let ys: Vec<_> = (0..len)
+            .map(|_| hybridem_mathkit::complex::C32::new(rng.normal_f32(), rng.normal_f32()))
+            .collect();
+        let mut raw_block = vec![0i64; len * m];
+        accel.process_block(&ys, &mut raw_block);
+        let mut f32_block = vec![0f32; len * m];
+        accel.demap_block(&ys, &mut f32_block);
+        let mut f32_single = vec![0f32; m];
+        for (s, &y) in ys.iter().enumerate() {
+            prop_assert_eq!(&raw_block[s * m..(s + 1) * m], &accel.process(y)[..]);
+            accel.llrs_f32(y, &mut f32_single);
+            for k in 0..m {
+                prop_assert_eq!(f32_block[s * m + k].to_bits(), f32_single[k].to_bits());
+            }
+        }
+    }
 
     #[test]
     fn mvau_fold_invariance_random_layers(

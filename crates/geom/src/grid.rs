@@ -80,6 +80,43 @@ impl LabelGrid {
         }
     }
 
+    /// Builds a grid from labels already sampled in row-major order
+    /// (`iy` outer, `ix` inner — the order [`LabelGrid::sample`] visits
+    /// cells, and the order [`LabelGrid::cell_centers`] yields). This
+    /// is the batch entry point: callers evaluate all cell centres in
+    /// one block (e.g. a single batched ANN inference) and hand the
+    /// labels over.
+    ///
+    /// # Panics
+    /// Panics unless `labels.len() == nx * ny` (and the grid/window are
+    /// valid, as for [`LabelGrid::sample`]).
+    pub fn from_labels(window: Window, nx: usize, ny: usize, labels: Vec<u16>) -> Self {
+        assert!(nx >= 2 && ny >= 2, "grid too small");
+        assert!(
+            window.width() > 0.0 && window.height() > 0.0,
+            "empty window"
+        );
+        assert_eq!(labels.len(), nx * ny, "labels must cover the grid");
+        Self {
+            window,
+            nx,
+            ny,
+            labels,
+        }
+    }
+
+    /// Cell centres in sampling order (`iy` outer, `ix` inner) — the
+    /// batch companion of [`LabelGrid::from_labels`].
+    pub fn cell_centers(window: Window, nx: usize, ny: usize) -> Vec<Vec2> {
+        let mut out = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                out.push(Self::center_of(window, nx, ny, ix, iy));
+            }
+        }
+        out
+    }
+
     fn center_of(w: Window, nx: usize, ny: usize, ix: usize, iy: usize) -> Vec2 {
         let dx = w.width() / nx as f64;
         let dy = w.height() / ny as f64;

@@ -142,6 +142,17 @@ impl<T: Real> Matrix<T> {
         self.data.fill(T::ZERO);
     }
 
+    /// Reshapes to `rows × cols` in place, reusing the backing
+    /// allocation whenever its capacity suffices. Element values are
+    /// unspecified afterwards — this is the scratch-buffer primitive of
+    /// the allocation-free inference path, whose kernels overwrite
+    /// every element before reading it.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, T::ZERO);
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
@@ -242,11 +253,20 @@ impl<T: Real> Matrix<T> {
 
     /// `self · otherᵀ` without materialising the transpose.
     pub fn matmul_transpose_b(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.rows, other.rows);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` writing into a pre-sized output (the inference
+    /// hot path — same accumulation order as
+    /// [`Matrix::matmul_transpose_b`], so results are bit-identical).
+    pub fn matmul_transpose_b_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b dimension mismatch"
         );
-        let mut out = Self::zeros(self.rows, other.rows);
+        out.resize_to(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
@@ -258,7 +278,6 @@ impl<T: Real> Matrix<T> {
                 out[(i, j)] = acc;
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materialising the transpose (the weight

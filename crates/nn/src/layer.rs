@@ -55,6 +55,17 @@ pub trait Layer: Send + Sync {
     /// threads behind `&self` (the link simulator's demapper path).
     fn infer(&self, input: &Matrix<f32>) -> Matrix<f32>;
 
+    /// Pure inference writing into a caller-provided buffer. `out` is
+    /// reshaped via [`Matrix::resize_to`], so a warm buffer is reused
+    /// without allocating — the primitive behind the block demapper's
+    /// allocation-free batch path. The default delegates to
+    /// [`Layer::infer`] (and therefore allocates); the built-in layers
+    /// override it with in-place kernels that are bit-identical to
+    /// their `infer`.
+    fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
+        *out = self.infer(input);
+    }
+
     /// Backward pass for the most recent `forward`: receives ∂L/∂output,
     /// returns ∂L/∂input, accumulating parameter gradients.
     fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32>;

@@ -70,15 +70,20 @@ impl Layer for Dense {
     }
 
     fn infer(&self, input: &Matrix<f32>) -> Matrix<f32> {
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
         assert_eq!(input.cols(), self.in_dim(), "dense input width");
-        let mut out = input.matmul_transpose_b(&self.weight.value);
+        input.matmul_transpose_b_into(&self.weight.value, out);
         let bias = self.bias.value.row(0);
         for r in 0..out.rows() {
             for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
                 *o += b;
             }
         }
-        out
     }
 
     fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {

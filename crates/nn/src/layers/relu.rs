@@ -34,6 +34,13 @@ impl Layer for Relu {
         input.map(|x| if x > 0.0 { x } else { 0.0 })
     }
 
+    fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
+        out.resize_to(input.rows(), input.cols());
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = if x > 0.0 { x } else { 0.0 };
+        }
+    }
+
     fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(grad_out.shape(), self.shape, "relu grad shape");

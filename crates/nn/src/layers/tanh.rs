@@ -31,6 +31,13 @@ impl Layer for Tanh {
         input.map(|x| x.tanh())
     }
 
+    fn infer_into(&self, input: &Matrix<f32>, out: &mut Matrix<f32>) {
+        out.resize_to(input.rows(), input.cols());
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = x.tanh();
+        }
+    }
+
     fn backward(&mut self, grad_out: &Matrix<f32>) -> Matrix<f32> {
         let y = self.output.as_ref().expect("backward before forward");
         grad_out.zip_map(y, |g, y| g * (1.0 - y * y))

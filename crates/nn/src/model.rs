@@ -89,6 +89,32 @@ impl MlpSpec {
     }
 }
 
+/// Reusable ping-pong activation buffers for [`Sequential::infer_into`].
+///
+/// After one warm-up pass at a given batch size the buffers have grown
+/// to their high-water mark and subsequent passes allocate nothing —
+/// the property the block demapper's Monte-Carlo hot loop relies on.
+pub struct InferScratch {
+    ping: Matrix<f32>,
+    pong: Matrix<f32>,
+}
+
+impl InferScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for InferScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A chain of layers applied in order.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
@@ -136,13 +162,45 @@ impl Sequential {
     }
 
     /// Pure inference pass (no caches touched): safe to call from
-    /// shared references across threads.
+    /// shared references across threads. Allocates fresh buffers per
+    /// call; batch hot loops should hold an [`InferScratch`] and use
+    /// [`Sequential::infer_into`] instead.
     pub fn infer(&self, input: &Matrix<f32>) -> Matrix<f32> {
-        let mut x = input.clone();
-        for l in &self.layers {
-            x = l.infer(&x);
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = InferScratch::new();
+        self.infer_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free inference: runs the whole stack writing into
+    /// `out`, ping-ponging intermediate activations through `scratch`.
+    /// All buffers are reshaped with [`Matrix::resize_to`], so once
+    /// they have been warmed at a batch size nothing allocates. The
+    /// arithmetic is bit-identical to [`Sequential::infer`] (which is
+    /// implemented on top of this method).
+    pub fn infer_into(
+        &self,
+        input: &Matrix<f32>,
+        out: &mut Matrix<f32>,
+        scratch: &mut InferScratch,
+    ) {
+        match self.layers.len() {
+            0 => {
+                out.resize_to(input.rows(), input.cols());
+                out.as_mut_slice().copy_from_slice(input.as_slice());
+            }
+            1 => self.layers[0].infer_into(input, out),
+            n => {
+                let InferScratch { ping, pong } = scratch;
+                let (mut src, mut dst) = (ping, pong);
+                self.layers[0].infer_into(input, src);
+                for l in &self.layers[1..n - 1] {
+                    l.infer_into(src, dst);
+                    std::mem::swap(&mut src, &mut dst);
+                }
+                self.layers[n - 1].infer_into(src, out);
+            }
         }
-        x
     }
 
     /// Backward pass; returns ∂L/∂input.

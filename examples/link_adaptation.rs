@@ -100,12 +100,8 @@ fn transmit_frame(
         pilot_syms.push(constellation.point(u));
     }
     channel.transmit(&mut pilot_syms, rng);
-    let mut pilot_rx_bits = Vec::with_capacity(128 * m);
-    let mut bits = [0u8; 16];
-    for &y in &pilot_syms {
-        hybrid.hard_decide(y, &mut bits);
-        pilot_rx_bits.extend_from_slice(&bits[..m]);
-    }
+    let mut pilot_rx_bits = vec![0u8; 128 * m];
+    hybrid.hard_decide_block(&pilot_syms, &mut pilot_rx_bits);
 
     // Payload: 128 data bits, rate-1/2 convolutional code, soft decode.
     let mut payload = vec![0u8; 128];
@@ -128,14 +124,7 @@ fn transmit_frame(
         syms.push(constellation.point(hybridem::comm::bits::pack_bits(&chunk)));
     }
     channel.transmit(&mut syms, rng);
-    let mut llrs = Vec::with_capacity(syms.len() * m);
-    let mut llr = [0f32; 16];
-    for &y in &syms {
-        hybrid.llrs(y, &mut llr[..m]);
-        llrs.extend_from_slice(&llr[..m]);
-    }
-    llrs.truncate(coded.len());
-    let outcome = viterbi.decode_soft(code, &llrs);
+    let outcome = viterbi.decode_demapped(code, hybrid, &syms, coded.len());
     (
         pilot_tx_bits,
         pilot_rx_bits,

@@ -42,12 +42,8 @@ fn pilot_round(
         syms.push(constellation.point(u));
     }
     channel.transmit(&mut syms, rng);
-    let mut rx = Vec::with_capacity(n_symbols * m);
-    let mut bits = [0u8; 16];
-    for &y in &syms {
-        hybrid.hard_decide(y, &mut bits);
-        rx.extend_from_slice(&bits[..m]);
-    }
+    let mut rx = vec![0u8; n_symbols * m];
+    hybrid.hard_decide_block(&syms, &mut rx);
     (tx, rx)
 }
 

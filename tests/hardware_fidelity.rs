@@ -75,19 +75,11 @@ fn hardware_demapper_ber_matches_software_hybrid() {
     let pipe = trained();
     let sigma = pipe.config().sigma();
     let hybrid_sw = pipe.hybrid_demapper().unwrap();
-    let hw = hybrid_sw.to_hardware(SoftDemapperConfig::paper_default());
-
-    // Wrap the bit-exact accelerator as a link demapper.
-    struct HwWrap(hybridem::fpga::builder::SoftDemapperDesign);
-    impl Demapper for HwWrap {
-        fn bits_per_symbol(&self) -> usize {
-            self.0.accel.bits_per_symbol()
-        }
-        fn llrs(&self, y: C32, out: &mut [f32]) {
-            self.0.accel.llrs_f32(y, out);
-        }
-    }
-    let hw = HwWrap(hw);
+    // The bit-exact accelerator is itself a `Demapper` — its block path
+    // drives the link simulator directly.
+    let hw = hybrid_sw
+        .to_hardware(SoftDemapperConfig::paper_default())
+        .accel;
 
     let constellation = pipe.constellation();
     let channel = Awgn::new(sigma);
