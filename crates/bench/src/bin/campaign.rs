@@ -1,0 +1,97 @@
+//! **Campaign** — the paper's Fig. 2 waterfall comparison as a full
+//! SNR-sweep campaign: conventional max-log vs AE-inference vs hybrid
+//! centroids vs the fixed-point FPGA accelerator model, across the
+//! paper's channel impairments, with statistical early stopping
+//! (DESIGN.md §8) and a schema-validated JSON artefact.
+//!
+//! Budget knobs: `HYBRIDEM_QUICK=1` cuts the AE training budget 8×;
+//! `HYBRIDEM_CAMPAIGN_TRIALS=<n>` caps simulated symbols per point
+//! (how CI runs a seeded micro-campaign smoke). The artefact is
+//! byte-for-byte reproducible from the seed at any thread count.
+
+use hybridem_bench::{banner, budget, campaign_symbol_cap, write_json};
+use hybridem_comm::campaign::{run_campaign, CampaignReport, CampaignSpec, EarlyStop};
+use hybridem_comm::snr::ebn0_to_esn0_db;
+use hybridem_comm::theory::ber_qam16_gray;
+use hybridem_core::config::SystemConfig;
+use hybridem_core::eval::{campaign_families, paper_scenarios};
+use hybridem_core::pipeline::HybridPipeline;
+use hybridem_fpga::demapper_accel::SoftDemapperConfig;
+use hybridem_mathkit::json::{FromJson, Json, ToJson};
+
+fn main() {
+    banner(
+        "Campaign — BER waterfall sweep with statistical early stopping",
+        "Ney, Hammoud, Wehn (IPDPSW'22), Fig. 2 + impairment extensions",
+    );
+
+    // One AE, trained at the paper's nominal operating point, shared
+    // across the grid (the per-SNR retraining study lives in
+    // fig2_ber_curves; the campaign compares receiver structures).
+    let mut cfg = SystemConfig::paper_default().at_snr(8.0);
+    cfg.e2e_steps = budget(5000) as usize;
+    eprintln!("training AE at SNR 8 dB ({} steps) …", cfg.e2e_steps);
+    let mut pipe = HybridPipeline::new(cfg);
+    let loss = pipe.e2e_train();
+    let report = pipe.extract_centroids();
+    eprintln!(
+        "  loss {loss:.3}, missing labels {}, voronoi disagreement {:.2}%",
+        report.missing_labels.len(),
+        100.0 * report.voronoi_disagreement
+    );
+
+    let mut stop = EarlyStop::paper_default();
+    if let Some(cap) = campaign_symbol_cap() {
+        eprintln!("HYBRIDEM_CAMPAIGN_TRIALS: capping each point at {cap} symbols");
+        stop = stop.capped(cap);
+    }
+
+    let mut spec = CampaignSpec::new(
+        campaign_families(&pipe, SoftDemapperConfig::paper_default()),
+        paper_scenarios(4),
+        vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+        20_220_517, // the paper's publication date as a seed
+    );
+    spec.name = "fig2-waterfall-campaign".to_string();
+    spec.stop = stop;
+
+    eprintln!(
+        "running {} families × {} scenarios × {} SNRs …",
+        spec.families.len(),
+        spec.scenarios.len(),
+        spec.snrs_db.len()
+    );
+    let campaign = run_campaign(&spec);
+    println!("\n{}", campaign.markdown_table());
+
+    println!("Closed-form Gray 16-QAM reference (AWGN column):");
+    println!("| SNR (Eb/N0) [dB] | theory BER |");
+    println!("|---|---|");
+    for &snr in &campaign.snrs_db {
+        println!(
+            "| {snr} | {:.4e} |",
+            ber_qam16_gray(ebn0_to_esn0_db(snr, 4))
+        );
+    }
+
+    let path = write_json("campaign_waterfall.json", &campaign.to_json());
+    println!("\nartefact: {path:?}");
+
+    // Schema gate: re-read the artefact from disk, parse it back into
+    // a CampaignReport and check every invariant — CI fails on any
+    // schema drift or NaN leak.
+    let text = std::fs::read_to_string(&path).expect("re-read artefact");
+    let reloaded = CampaignReport::from_json(&Json::parse(&text).expect("artefact parses"))
+        .expect("artefact matches the CampaignReport schema");
+    reloaded.validate().expect("artefact invariants hold");
+    assert_eq!(
+        reloaded.points.len(),
+        spec.families.len() * spec.scenarios.len() * spec.snrs_db.len(),
+        "one point per matrix cell"
+    );
+    println!(
+        "schema check: {} points valid, {} early-stopped",
+        reloaded.points.len(),
+        reloaded.points.iter().filter(|p| p.stopped_early).count()
+    );
+}

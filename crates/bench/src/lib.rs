@@ -11,6 +11,7 @@
 //! | `fig3_decision_regions` | Fig. 3 — decision regions + centroids before/after retraining |
 //! | `table1_adaptation` | Table 1 — phase-offset adaptation BERs |
 //! | `table2_hardware` | Table 2 — FPGA implementation comparison |
+//! | `campaign` | Fig. 2 as a campaign: waterfall sweep, all receivers × impairments, early stopping |
 //! | `ablation_dop` | (ext.) MVAU folding: DSP ↔ latency ↔ power |
 //! | `ablation_quant` | (ext.) bit-width vs BER |
 //! | `ablation_grid` | (ext.) extraction-grid resolution |
@@ -67,6 +68,18 @@ pub fn budget(full: u64) -> u64 {
     } else {
         full
     }
+}
+
+/// Per-point symbol cap for campaign runs, from the
+/// `HYBRIDEM_CAMPAIGN_TRIALS` environment variable (unset or
+/// unparsable ⇒ `None`, i.e. the campaign's own cap applies). The
+/// campaign schedule rounds the cap up to whole blocks, so actual
+/// budgets can exceed it by up to `block_len − 1` symbols. CI sets a
+/// small value to keep the seeded micro-campaign smoke cheap.
+pub fn campaign_symbol_cap() -> Option<u64> {
+    std::env::var("HYBRIDEM_CAMPAIGN_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 /// Checks a path exists after writing (sanity for artefact tests).

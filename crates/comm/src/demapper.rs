@@ -130,6 +130,32 @@ pub trait Demapper: Send + Sync {
     }
 }
 
+/// Forwarding impl: a shared reference demaps exactly like the value
+/// it borrows. This lets long-lived demappers (a trained
+/// `NeuralDemapper`, say) be handed out by campaign demapper-family
+/// builders as `Box<dyn Demapper + '_>` without cloning the weights.
+impl<D: Demapper + ?Sized> Demapper for &D {
+    fn bits_per_symbol(&self) -> usize {
+        (**self).bits_per_symbol()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        (**self).llrs(y, out);
+    }
+
+    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
+        (**self).demap_block(ys, out);
+    }
+
+    fn hard_decide(&self, y: C32, out: &mut [u8]) {
+        (**self).hard_decide(y, out);
+    }
+
+    fn hard_decide_block(&self, ys: &[C32], out: &mut [u8]) {
+        (**self).hard_decide_block(ys, out);
+    }
+}
+
 /// Per-bit point-subset membership, precomputed once per point set:
 /// `one[i * m + k]` is true when bit `k` of label `i` is 1 (point `i`
 /// belongs to subset `S¹_k`). Shared by the max-log and exact kernels

@@ -19,7 +19,12 @@
 //!   and a rate-1/2 convolutional code with hard/soft Viterbi;
 //! - [`theory`] — closed-form AWGN baselines used to validate the
 //!   simulator;
-//! - [`linksim`] — the deterministic, parallel end-to-end BER engine.
+//! - [`linksim`] — the deterministic, parallel end-to-end BER engine,
+//!   one-shot ([`linksim::simulate_link`]) or resumable in rounds
+//!   ([`linksim::LinkSim`]);
+//! - [`campaign`] — deterministic SNR-sweep campaigns over a demapper
+//!   family × channel scenario × SNR matrix with statistical early
+//!   stopping and JSON waterfall artefacts (DESIGN.md §8).
 //!
 //! ## LLR sign convention
 //!
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod campaign;
 pub mod channel;
 pub mod constellation;
 pub mod demapper;
@@ -40,7 +46,11 @@ pub mod metrics;
 pub mod snr;
 pub mod theory;
 
+pub use campaign::{
+    run_campaign, CampaignPoint, CampaignReport, CampaignSpec, ChannelScenario, DemapperFamily,
+    EarlyStop,
+};
 pub use channel::{Awgn, Channel, ChannelChain, PhaseOffset};
 pub use constellation::Constellation;
 pub use demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
-pub use linksim::{simulate_link, LinkResult, LinkSpec};
+pub use linksim::{simulate_link, LinkResult, LinkSim, LinkSpec};

@@ -7,6 +7,15 @@
 //! errors plus bitwise mutual information. Parallel execution reuses
 //! the deterministic task-splitting Monte-Carlo runner, so every
 //! BER point in EXPERIMENTS.md is exactly reproducible from its seed.
+//!
+//! Two entry points share one engine:
+//!
+//! - [`simulate_link`] — one-shot: the whole symbol budget in a single
+//!   pass;
+//! - [`LinkSim`] — resumable: blocks arrive in caller-chosen rounds on
+//!   a [`RoundRunner`], which is how the campaign engine
+//!   ([`crate::campaign`]) implements statistical early stopping
+//!   without giving up determinism (DESIGN.md §8).
 
 use crate::channel::Channel;
 use crate::constellation::Constellation;
@@ -15,7 +24,7 @@ use crate::metrics::BitwiseMiEstimator;
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
 use hybridem_mathkit::stats::ErrorCounter;
-use hybridem_parallel::montecarlo::{run, MonteCarloPlan};
+use hybridem_parallel::montecarlo::{MonteCarloPlan, RoundRunner};
 
 /// Everything needed to run one link simulation.
 pub struct LinkSpec<'a> {
@@ -66,12 +75,16 @@ pub struct LinkResult {
 }
 
 impl LinkResult {
-    /// Bit error rate.
+    /// Bit error rate. Zero-observation contract: `0.0` (never NaN)
+    /// when no bits were simulated — check
+    /// `self.bit_errors.trials() == 0` to tell "clean link" from
+    /// "nothing measured".
     pub fn ber(&self) -> f64 {
         self.bit_errors.rate()
     }
 
-    /// Symbol error rate.
+    /// Symbol error rate. Zero-observation contract: `0.0` (never NaN)
+    /// when no symbols were simulated.
     pub fn ser(&self) -> f64 {
         self.symbol_errors.rate()
     }
@@ -89,23 +102,54 @@ struct TaskAcc {
     llrs: Vec<f32>,
 }
 
-/// Runs the simulation described by `spec`.
+/// Runs the simulation described by `spec` in one pass, with a task
+/// count suited to the current machine (see [`MonteCarloPlan::new`];
+/// fix `HYBRIDEM_THREADS` or use [`LinkSim::new`] with an explicit
+/// task count for machine-independent results).
 pub fn simulate_link(spec: &LinkSpec<'_>) -> LinkResult {
-    let m = spec.constellation.bits_per_symbol();
-    assert_eq!(
-        m,
-        spec.demapper.bits_per_symbol(),
-        "constellation and demapper disagree on bits/symbol"
-    );
-    assert!(m <= 16, "bits per symbol > 16 unsupported");
+    // Checked again by LinkSim::new, but assert before the division so
+    // a zero block length fails with the documented message rather
+    // than an opaque divide-by-zero.
     assert!(spec.block_len > 0, "block length must be positive");
-
     let blocks = spec.symbols.div_ceil(spec.block_len as u64);
     let plan = MonteCarloPlan::new(blocks, spec.seed);
+    let mut sim = LinkSim::new(spec, plan.tasks);
+    sim.run_round(blocks);
+    sim.result()
+}
 
-    let acc = run(
-        &plan,
-        || {
+/// A resumable link simulation: the same engine as [`simulate_link`],
+/// but blocks are simulated in caller-chosen **rounds** and the
+/// partial result can be inspected between rounds.
+///
+/// Built on [`RoundRunner`], so the per-task channel state and RNG
+/// stream survive across rounds: running rounds `b₁, …, b_k` blocks is
+/// bit-identical to one [`simulate_link`] call of `Σ bᵢ` blocks at the
+/// same task count, and a caller that stops early gets exactly the
+/// prefix of the uncapped run. This is what the campaign engine's
+/// statistical early stopping is built on (DESIGN.md §8).
+pub struct LinkSim<'a> {
+    spec: &'a LinkSpec<'a>,
+    runner: RoundRunner<TaskAcc>,
+}
+
+impl<'a> LinkSim<'a> {
+    /// Prepares a resumable simulation with an explicit task count
+    /// (`spec.symbols` is ignored; rounds decide the budget).
+    ///
+    /// # Panics
+    /// Panics on constellation/demapper width mismatch, widths above
+    /// 16 bits/symbol, a zero block length, or zero tasks.
+    pub fn new(spec: &'a LinkSpec<'a>, tasks: u32) -> Self {
+        let m = spec.constellation.bits_per_symbol();
+        assert_eq!(
+            m,
+            spec.demapper.bits_per_symbol(),
+            "constellation and demapper disagree on bits/symbol"
+        );
+        assert!(m <= 16, "bits per symbol > 16 unsupported");
+        assert!(spec.block_len > 0, "block length must be positive");
+        let runner = RoundRunner::new(tasks, spec.seed, || {
             let mut channel = spec.channel.box_clone();
             channel.reset();
             TaskAcc {
@@ -117,21 +161,44 @@ pub fn simulate_link(spec: &LinkSpec<'_>) -> LinkResult {
                 block: vec![C32::zero(); spec.block_len],
                 llrs: vec![0f32; spec.block_len * m],
             }
-        },
-        |acc, rng| {
-            simulate_block(spec, acc, rng);
-        },
-        |a, b| {
-            a.bits.merge(&b.bits);
-            a.syms.merge(&b.syms);
-            a.mi.merge(&b.mi);
-        },
-    );
+        });
+        Self { spec, runner }
+    }
 
-    LinkResult {
-        bit_errors: acc.bits,
-        symbol_errors: acc.syms,
-        mi: acc.mi,
+    /// Simulates `blocks` further blocks (each `spec.block_len`
+    /// symbols), split deterministically across the task set.
+    pub fn run_round(&mut self, blocks: u64) {
+        let spec = self.spec;
+        self.runner
+            .run_round(blocks, |acc, rng| simulate_block(spec, acc, rng));
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u32 {
+        self.runner.rounds()
+    }
+
+    /// Symbols simulated so far (`blocks × block_len`).
+    pub fn symbols(&self) -> u64 {
+        self.runner.trials() * self.spec.block_len as u64
+    }
+
+    /// Snapshot of the accumulated result, reduced in task order (so
+    /// the floating-point MI sum is bit-stable across thread counts).
+    /// Cheap relative to a round; callable between rounds.
+    pub fn result(&self) -> LinkResult {
+        self.runner.fold(
+            |acc| LinkResult {
+                bit_errors: acc.bits,
+                symbol_errors: acc.syms,
+                mi: acc.mi.clone(),
+            },
+            |total, part| {
+                total.bit_errors.merge(&part.bit_errors);
+                total.symbol_errors.merge(&part.symbol_errors);
+                total.mi.merge(&part.mi);
+            },
+        )
     }
 }
 
@@ -286,6 +353,58 @@ mod tests {
         let rs = simulate_link(&LinkSpec::new(&c, &channel, &soft, 200_000, 3));
         let rh = simulate_link(&LinkSpec::new(&c, &channel, &hard, 200_000, 3));
         assert_eq!(rs.bit_errors.errors(), rh.bit_errors.errors());
+    }
+
+    #[test]
+    fn zero_symbol_budget_yields_finite_zeroes() {
+        // The zero-observation contract end-to-end: no trials, no NaN.
+        let c = qam16();
+        let awgn = Awgn::new(0.3);
+        let demapper = MaxLogMap::new(c.clone(), 0.3);
+        let spec = LinkSpec::new(&c, &awgn, &demapper, 0, 1);
+        let r = simulate_link(&spec);
+        assert_eq!(r.bit_errors.trials(), 0);
+        assert_eq!(r.ber(), 0.0);
+        assert_eq!(r.ser(), 0.0);
+        assert_eq!(r.mi.mi(), 0.0);
+        assert!(r.ber().is_finite() && r.ser().is_finite() && r.mi.mi().is_finite());
+        assert_eq!(r.bit_errors.wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn incremental_rounds_match_one_shot() {
+        // LinkSim over rounds 8+24+32 blocks ≡ one 64-block round at
+        // the same task count, bit-for-bit (round sizes divisible by
+        // the task count, so per-task trial prefixes line up) —
+        // including the stateful-channel case (CFO phase persists
+        // across rounds within a task).
+        let c = qam16();
+        let sigma = noise_sigma(8.0, 1.0) as f32;
+        let channel = ChannelChain::new(vec![
+            Box::new(crate::channel::Cfo::new(1e-4)),
+            Box::new(Awgn::new(sigma)),
+        ]);
+        let demapper = MaxLogMap::new(c.clone(), sigma);
+        let mut spec = LinkSpec::new(&c, &channel, &demapper, 64 * 256, 77);
+        spec.block_len = 256;
+
+        let mut sim = LinkSim::new(&spec, 8);
+        for blocks in [8u64, 24, 32] {
+            sim.run_round(blocks);
+        }
+        let incremental = sim.result();
+        assert_eq!(sim.rounds(), 3);
+        assert_eq!(sim.symbols(), 64 * 256);
+
+        let mut one_shot = LinkSim::new(&spec, 8);
+        one_shot.run_round(64);
+        let whole = one_shot.result();
+        assert_eq!(incremental.bit_errors.errors(), whole.bit_errors.errors());
+        assert_eq!(
+            incremental.symbol_errors.errors(),
+            whole.symbol_errors.errors()
+        );
+        assert_eq!(incremental.mi.mi().to_bits(), whole.mi.mi().to_bits());
     }
 
     #[test]

@@ -63,9 +63,15 @@ impl BitwiseMiEstimator {
         self.n
     }
 
-    /// Current MI estimate in bits (0 when empty). May be slightly
-    /// negative for a mismatched demapper — that is information-loss
-    /// signal, not an error.
+    /// Current MI estimate in bits. May be slightly negative for a
+    /// mismatched demapper — that is information-loss signal, not an
+    /// error.
+    ///
+    /// Zero-observation contract: returns exactly `0.0` (never NaN)
+    /// when no LLRs were pushed, so campaign artefacts and adaptation
+    /// thresholds always see a finite number; check
+    /// [`BitwiseMiEstimator::count`] to tell "no information" from
+    /// "nothing measured".
     pub fn mi(&self) -> f64 {
         if self.n == 0 {
             0.0
@@ -121,6 +127,14 @@ mod tests {
             mi.push(bit, llr);
         }
         assert!((mi.mi() - 1.0).abs() < 1e-6, "mi {}", mi.mi());
+    }
+
+    #[test]
+    fn mi_empty_estimator_is_finite_zero() {
+        let mi = BitwiseMiEstimator::new();
+        assert_eq!(mi.count(), 0);
+        assert_eq!(mi.mi(), 0.0);
+        assert!(mi.mi().is_finite());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests of the communication substrate.
 
 use hybridem_comm::bits::{bit_of, gray, gray_inverse, hamming_distance, pack_bits, unpack_bits};
+use hybridem_comm::campaign::EarlyStop;
 use hybridem_comm::channel::{Awgn, Cfo, Channel, ChannelChain, IqImbalance, PhaseOffset};
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
@@ -19,6 +20,41 @@ proptest! {
         for (k, &b) in bits.iter().enumerate() {
             prop_assert_eq!(bit_of(idx, m, k), b);
         }
+    }
+
+    #[test]
+    fn round_schedule_covers_the_cap_exactly(
+        max_symbols in 0u64..10_000_000,
+        first in 1u64..100_000,
+        growth in 1u32..8,
+        block_len in 1usize..2048,
+    ) {
+        // The campaign round schedule is a pure function of
+        // (stop, block_len): rounds are non-empty, grow geometrically
+        // until the final (possibly truncated) round, and sum to
+        // exactly ceil(max_symbols / block_len) blocks.
+        let stop = EarlyStop {
+            target_bit_errors: 100,
+            max_symbols_per_point: max_symbols,
+            first_round_symbols: first,
+            growth,
+        };
+        let rounds: Vec<u64> = stop.round_schedule(block_len).collect();
+        let cap_blocks = max_symbols.div_ceil(block_len as u64);
+        prop_assert_eq!(rounds.iter().sum::<u64>(), cap_blocks);
+        prop_assert!(rounds.iter().all(|&b| b > 0));
+        let nominal_first = first.div_ceil(block_len as u64).max(1);
+        let mut expected = nominal_first;
+        for (i, &b) in rounds.iter().enumerate() {
+            if i + 1 < rounds.len() {
+                prop_assert_eq!(b, expected, "round {} not geometric", i);
+            } else {
+                prop_assert!(b <= expected, "final round may only truncate");
+            }
+            expected = expected.saturating_mul(u64::from(growth));
+        }
+        // Determinism: re-collecting gives the same schedule.
+        prop_assert_eq!(rounds, stop.round_schedule(block_len).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -10,10 +10,22 @@
 //!    demapped by the conventional max-log algorithm running on the
 //!    centroids extracted from the trained ANN.
 
-use hybridem_comm::channel::Channel;
+//!
+//! For SNR-sweep campaigns ([`hybridem_comm::campaign`]), the same
+//! receivers — plus the bit-exact fixed-point FPGA accelerator model —
+//! are exposed as [`campaign_families`], and the paper's channel
+//! impairments as [`paper_scenarios`]; both interpret the campaign's
+//! grid values as **Eb/N0 in dB** (the paper's axis).
+
+use crate::hybrid::HybridDemapper;
+use crate::pipeline::HybridPipeline;
+use hybridem_comm::campaign::{ChannelScenario, DemapperFamily};
+use hybridem_comm::channel::{Awgn, Channel, ChannelChain, IqImbalance, RayleighBlockFading};
 use hybridem_comm::constellation::Constellation;
-use hybridem_comm::demapper::Demapper;
+use hybridem_comm::demapper::{Demapper, MaxLogMap};
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
+use hybridem_comm::snr::{ebn0_to_esn0_db, noise_sigma};
+use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
 
 /// One measured operating point.
 #[derive(Clone, Debug)]
@@ -71,6 +83,117 @@ pub fn measure(
     }
 }
 
+/// Per-dimension noise σ on the paper's SNR axis: `snr_db` is Eb/N0,
+/// converted to Es/N0 for a `bits`-bit symbol at unit energy.
+fn sigma_ebn0(snr_db: f64, bits: usize) -> f32 {
+    noise_sigma(ebn0_to_esn0_db(snr_db, bits), 1.0) as f32
+}
+
+/// The paper's receiver line-up as campaign demapper families
+/// (grid SNR = **Eb/N0 in dB**):
+///
+/// 1. `conventional` — Gray QAM + max-log with the true constellation;
+/// 2. `AE-inference` — the learned constellation demapped by the
+///    trained ANN itself (borrowed from the pipeline, not cloned);
+/// 3. `hybrid-centroids` — max-log on the extracted centroids;
+/// 4. `fixed-point-accel` — the bit-exact integer model of the FPGA
+///    soft-demapper accelerator running on the same centroids.
+///
+/// # Panics
+/// Panics unless [`HybridPipeline::extract_centroids`] ran (families 3
+/// and 4 need the extracted centroid set).
+pub fn campaign_families(
+    pipe: &HybridPipeline,
+    accel_cfg: SoftDemapperConfig,
+) -> Vec<DemapperFamily<'_>> {
+    let hybrid = pipe
+        .hybrid_demapper()
+        .expect("campaign_families needs extracted centroids: run extract_centroids() first");
+    let m = pipe.constellation().bits_per_symbol();
+    let qam = Constellation::qam_gray(pipe.config().num_symbols());
+    let learned = pipe.constellation();
+    let centroids = hybrid.centroids().clone();
+    let accel_centroids = centroids.points().to_vec();
+
+    let conv_tx = qam.clone();
+    let hybrid_centroids = centroids.clone();
+    vec![
+        DemapperFamily::new(
+            "conventional",
+            conv_tx,
+            Box::new(move |snr| Box::new(MaxLogMap::new(qam.clone(), sigma_ebn0(snr, m)))),
+        ),
+        DemapperFamily::new(
+            "AE-inference",
+            learned.clone(),
+            // The ANN is SNR-agnostic at inference time; hand out a
+            // borrow of the trained network for every grid point.
+            Box::new(move |_snr| Box::new(pipe.ann_demapper())),
+        ),
+        DemapperFamily::new(
+            "hybrid-centroids",
+            learned.clone(),
+            Box::new(move |snr| {
+                Box::new(HybridDemapper::from_centroids(
+                    hybrid_centroids.clone(),
+                    sigma_ebn0(snr, m),
+                ))
+            }),
+        ),
+        DemapperFamily::new(
+            "fixed-point-accel",
+            learned,
+            Box::new(move |snr| {
+                Box::new(SoftDemapperAccel::new(
+                    accel_cfg.clone(),
+                    &accel_centroids,
+                    sigma_ebn0(snr, m),
+                ))
+            }),
+        ),
+    ]
+}
+
+/// The paper's channel impairments as campaign scenarios
+/// (grid SNR = **Eb/N0 in dB** for a `bits`-bit symbol): pure AWGN,
+/// the π/4 phase-offset study, IQ imbalance, and block Rayleigh
+/// fading — each with AWGN at the grid SNR applied last.
+pub fn paper_scenarios(bits: usize) -> Vec<ChannelScenario<'static>> {
+    vec![
+        ChannelScenario::new(
+            "awgn",
+            Box::new(move |snr| Box::new(Awgn::from_es_n0_db(ebn0_to_esn0_db(snr, bits)))),
+        ),
+        ChannelScenario::new(
+            "phase-pi4+awgn",
+            Box::new(move |snr| {
+                Box::new(ChannelChain::phase_then_awgn(
+                    std::f32::consts::FRAC_PI_4,
+                    ebn0_to_esn0_db(snr, bits),
+                ))
+            }),
+        ),
+        ChannelScenario::new(
+            "iq-imbalance+awgn",
+            Box::new(move |snr| {
+                Box::new(ChannelChain::new(vec![
+                    Box::new(IqImbalance::new(0.05, 0.05)),
+                    Box::new(Awgn::from_es_n0_db(ebn0_to_esn0_db(snr, bits))),
+                ]))
+            }),
+        ),
+        ChannelScenario::new(
+            "rayleigh64+awgn",
+            Box::new(move |snr| {
+                Box::new(ChannelChain::new(vec![
+                    Box::new(RayleighBlockFading::new(64)),
+                    Box::new(Awgn::from_es_n0_db(ebn0_to_esn0_db(snr, bits))),
+                ]))
+            }),
+        ),
+    ]
+}
+
 /// Renders points as a Markdown table (EXPERIMENTS.md format).
 pub fn markdown_table(points: &[BerPoint]) -> String {
     let mut s = String::from(
@@ -118,6 +241,56 @@ mod tests {
         );
         assert!(p.mi > 0.5 && p.mi <= 1.0);
         assert_eq!(p.bits, p.bit_errors + (p.bits - p.bit_errors));
+    }
+
+    #[test]
+    fn campaign_families_cover_the_paper_line_up() {
+        use crate::config::SystemConfig;
+        use hybridem_comm::campaign::{run_campaign, CampaignSpec, EarlyStop};
+
+        // Untrained network: centroids are meaningless but extraction's
+        // fallback still yields a full labelled set, which is all the
+        // wiring test needs.
+        let mut pipe = HybridPipeline::new(SystemConfig::fast_test());
+        let _ = pipe.extract_centroids();
+        let families = campaign_families(&pipe, SoftDemapperConfig::paper_default());
+        assert_eq!(
+            families.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec![
+                "conventional",
+                "AE-inference",
+                "hybrid-centroids",
+                "fixed-point-accel"
+            ]
+        );
+
+        let scenarios = paper_scenarios(4);
+        assert_eq!(scenarios.len(), 4);
+
+        // Micro-campaign across the full family line-up on one AWGN
+        // point: every family must produce a valid artefact cell.
+        let mut spec = CampaignSpec::new(
+            families,
+            paper_scenarios(4).into_iter().take(1).collect(),
+            vec![6.0],
+            5,
+        );
+        spec.stop = EarlyStop {
+            target_bit_errors: 50,
+            max_symbols_per_point: 4_096,
+            first_round_symbols: 2_048,
+            growth: 2,
+        };
+        spec.tasks = 4;
+        let report = run_campaign(&spec);
+        assert_eq!(report.points.len(), 4);
+        report.validate().expect("campaign artefact invariants");
+        // The conventional receiver at 6 dB Eb/N0 must be in a sane
+        // BER range; the untrained ANN must be much worse.
+        let conv = &report.points[0];
+        let ann = &report.points[1];
+        assert!(conv.ber < 0.1, "conventional BER {}", conv.ber);
+        assert!(ann.ber > conv.ber, "untrained ANN can't beat max-log");
     }
 
     #[test]

@@ -5,6 +5,44 @@
 //! interval so experiments can report how trustworthy each point is and
 //! tests can assert against closed-form theory without flakiness.
 
+/// Wilson score interval for a binomial proportion: `errors` successes
+/// in `trials` trials at `z` standard-normal quantiles (z = 1.96 ⇒
+/// 95 %). Well-behaved even at zero observed errors, unlike the naive
+/// normal interval.
+///
+/// Zero-observation contract: with `trials == 0` the maximally
+/// uninformative interval `(0, 1)` is returned — never NaN — so
+/// campaign artefacts stay JSON-clean whatever the trial budget.
+///
+/// This is the single Wilson implementation in the workspace;
+/// [`ErrorCounter::wilson_interval`] and the campaign engine's
+/// per-point confidence intervals both delegate here.
+pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = errors as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // At the edges `centre ∓ half` is analytically 0 (resp. 1) but the
+    // sqrt path leaves ±1e-17-ish residue; pin the bounds exactly so
+    // "rate inside its interval" holds without tolerances.
+    let lo = if errors == 0 {
+        0.0
+    } else {
+        (centre - half).max(0.0)
+    };
+    let hi = if errors == trials {
+        1.0
+    } else {
+        (centre + half).min(1.0)
+    };
+    (lo, hi)
+}
+
 /// Welford's online mean/variance accumulator.
 #[derive(Clone, Debug, Default)]
 pub struct Welford {
@@ -121,7 +159,12 @@ impl ErrorCounter {
         self.trials
     }
 
-    /// Point estimate of the error rate (0 when no trials ran).
+    /// Point estimate of the error rate.
+    ///
+    /// Zero-observation contract: returns exactly `0.0` (never NaN)
+    /// when no trials ran, so downstream JSON artefacts and adaptation
+    /// thresholds see a finite number. Use [`ErrorCounter::trials`] to
+    /// distinguish "no errors observed" from "nothing measured".
     pub fn rate(&self) -> f64 {
         if self.trials == 0 {
             0.0
@@ -131,19 +174,9 @@ impl ErrorCounter {
     }
 
     /// Wilson score interval at `z` standard normal quantiles
-    /// (z = 1.96 ⇒ 95 %). Well-behaved even at zero observed errors,
-    /// unlike the naive normal interval.
+    /// (z = 1.96 ⇒ 95 %) — delegates to [`wilson_interval`].
     pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
-        if self.trials == 0 {
-            return (0.0, 1.0);
-        }
-        let n = self.trials as f64;
-        let p = self.rate();
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let centre = (p + z2 / (2.0 * n)) / denom;
-        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        ((centre - half).max(0.0), (centre + half).min(1.0))
+        wilson_interval(self.errors, self.trials, z)
     }
 
     /// True if `rate` lies inside the Wilson interval at the given `z`.
@@ -302,6 +335,24 @@ mod tests {
         assert!(hi > 0.0 && hi < 0.01);
         // No trials at all: the maximally uninformative interval.
         assert_eq!(ErrorCounter::new().wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn zero_trial_contract_is_finite() {
+        // The documented zero-observation contract: rate 0, interval
+        // (0, 1), nothing NaN.
+        let c = ErrorCounter::new();
+        assert_eq!(c.rate(), 0.0);
+        assert!(c.rate().is_finite());
+        assert_eq!(c.wilson_interval(1.96), (0.0, 1.0));
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn free_wilson_matches_counter_method() {
+        let mut c = ErrorCounter::new();
+        c.record(17, 4321);
+        assert_eq!(c.wilson_interval(2.5), wilson_interval(17, 4321, 2.5));
     }
 
     #[test]

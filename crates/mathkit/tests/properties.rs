@@ -4,7 +4,7 @@ use hybridem_mathkit::complex::C64;
 use hybridem_mathkit::matrix::Matrix;
 use hybridem_mathkit::rng::{Rng64, SplitMix64, Xoshiro256pp};
 use hybridem_mathkit::special::{log_sum_exp, max_log, qfunc, sigmoid};
-use hybridem_mathkit::stats::{ErrorCounter, Welford};
+use hybridem_mathkit::stats::{wilson_interval, ErrorCounter, Welford};
 use hybridem_mathkit::vec2::Vec2;
 use proptest::prelude::*;
 
@@ -150,6 +150,81 @@ proptest! {
         prop_assert!(hi >= c.rate() - 1e-12);
         prop_assert!((0.0..=1.0).contains(&lo));
         prop_assert!((0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn error_counter_merge_commutative_and_associative(
+        triples in proptest::collection::vec((0u64..1000, 0u64..100_000), 1..6),
+    ) {
+        // Counters built from (errors, extra-trials) pairs merged in
+        // any grouping/order give identical totals and rates.
+        let counters: Vec<ErrorCounter> = triples.iter().map(|&(e, extra)| {
+            let mut c = ErrorCounter::new();
+            c.record(e, e + extra);
+            c
+        }).collect();
+        // Left fold.
+        let mut fwd = ErrorCounter::new();
+        for c in &counters {
+            fwd.merge(c);
+        }
+        // Reverse fold.
+        let mut rev = ErrorCounter::new();
+        for c in counters.iter().rev() {
+            rev.merge(c);
+        }
+        // Pairwise tree fold.
+        let mut layer = counters.clone();
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|ch| {
+                let mut a = ch[0];
+                if let Some(b) = ch.get(1) {
+                    a.merge(b);
+                }
+                a
+            }).collect();
+        }
+        for other in [&rev, &layer[0]] {
+            prop_assert_eq!(fwd.errors(), other.errors());
+            prop_assert_eq!(fwd.trials(), other.trials());
+            prop_assert_eq!(fwd.rate().to_bits(), other.rate().to_bits());
+        }
+    }
+
+    #[test]
+    fn wilson_width_shrinks_with_trials(
+        errors in 0u64..500, extra in 0u64..10_000, scale in 2u64..50,
+    ) {
+        // Same observed rate, `scale`× the evidence ⇒ a strictly
+        // narrower interval that still contains the rate.
+        let trials = errors + extra;
+        prop_assume!(trials > 0);
+        let (lo1, hi1) = wilson_interval(errors, trials, 1.96);
+        let (lo2, hi2) = wilson_interval(errors * scale, trials * scale, 1.96);
+        prop_assert!(hi2 - lo2 < hi1 - lo1,
+            "width must shrink: [{lo1}, {hi1}] → [{lo2}, {hi2}]");
+        let p = errors as f64 / trials as f64;
+        prop_assert!(lo2 <= p + 1e-12 && p <= hi2 + 1e-12);
+    }
+
+    #[test]
+    fn wilson_degrades_gracefully_at_the_edges(trials in 0u64..100_000, z in 0.5f64..5.0) {
+        // Zero errors: lo pinned at exactly 0 (the implementation pins
+        // the edge, no float residue), hi a proper sub-1 bound once
+        // any trial ran. Zero trials: the maximally uninformative
+        // (0, 1). Never NaN, whatever the inputs.
+        let (lo, hi) = wilson_interval(0, trials, z);
+        prop_assert_eq!(lo, 0.0);
+        prop_assert!(hi.is_finite());
+        if trials == 0 {
+            prop_assert_eq!(hi, 1.0);
+        } else {
+            prop_assert!(hi > 0.0 && hi < 1.0);
+        }
+        // All-errors mirror image: hi pinned at exactly 1.
+        let (lo_all, hi_all) = wilson_interval(trials.max(1), trials.max(1), z);
+        prop_assert_eq!(hi_all, 1.0);
+        prop_assert!(lo_all > 0.0 && lo_all < 1.0);
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //!
 //! - [`par_map`] / [`par_map_indexed`] — parallel map over a slice;
 //! - [`par_chunks_map`] — parallel map over contiguous chunks;
+//! - [`par_for_each_mut`] — parallel in-place mutation of independent
+//!   element states;
 //! - [`montecarlo::run`] — deterministic parallel Monte-Carlo with
-//!   per-task RNG streams and associative reduction.
+//!   per-task RNG streams and associative reduction;
+//! - [`montecarlo::RoundRunner`] — the resumable round-based variant
+//!   behind the campaign engine's statistical early stopping
+//!   (DESIGN.md §8).
 
 #![warn(missing_docs)]
 
@@ -21,6 +26,6 @@ pub mod montecarlo;
 pub mod par_iter;
 pub mod util;
 
-pub use montecarlo::{run as montecarlo_run, MonteCarloPlan};
-pub use par_iter::{par_chunks_map, par_map, par_map_indexed};
+pub use montecarlo::{run as montecarlo_run, MonteCarloPlan, RoundRunner};
+pub use par_iter::{par_chunks_map, par_for_each_mut, par_map, par_map_indexed};
 pub use util::num_threads;

@@ -7,8 +7,22 @@
 //! always processes the same number of trials with the RNG stream
 //! `Xoshiro256pp::stream(seed, i)`, and partial results are reduced in
 //! task order. The outcome is a pure function of `(plan, seed)`.
+//!
+//! Two execution modes share that machinery:
+//!
+//! - [`run`] — one-shot: all trials in a single pass;
+//! - [`RoundRunner`] — resumable: trials arrive in caller-chosen
+//!   **rounds**, each task keeping its accumulator and RNG stream
+//!   alive between rounds. The state after rounds `r₁, …, r_k` is a
+//!   pure function of `(tasks, seed, r₁ … r_k)` — independent of
+//!   thread count and of whether later rounds ever run — which is what
+//!   makes statistical early stopping deterministic: a caller that
+//!   stops after round `k` obtains exactly the `k`-round prefix of the
+//!   uncapped run (DESIGN.md §8). (Collapsing rounds into one bigger
+//!   round additionally preserves results whenever the per-task trial
+//!   splits line up, e.g. round sizes divisible by the task count.)
 
-use crate::par_iter::par_map;
+use crate::par_iter::par_for_each_mut;
 use hybridem_mathkit::rng::Xoshiro256pp;
 
 /// Shape of a Monte-Carlo run: how many trials, split into how many
@@ -61,7 +75,9 @@ impl MonteCarloPlan {
 /// accumulator from `init`, partial accumulators are combined with
 /// `merge` in task order.
 ///
-/// `body(acc, rng)` performs **one trial**.
+/// `body(acc, rng)` performs **one trial**. Implemented as a
+/// [`RoundRunner`] executing a single round, so one-shot and
+/// incremental execution can never drift apart.
 pub fn run<A, I, B, M>(plan: &MonteCarloPlan, init: I, body: B, merge: M) -> A
 where
     A: Send,
@@ -69,21 +85,128 @@ where
     B: Fn(&mut A, &mut Xoshiro256pp) + Sync,
     M: Fn(&mut A, A),
 {
-    let task_ids: Vec<u32> = (0..plan.tasks).collect();
-    let partials = par_map(&task_ids, |&i| {
-        let mut rng = Xoshiro256pp::stream(plan.seed, i as u64);
-        let mut acc = init();
-        for _ in 0..plan.trials_of_task(i) {
-            body(&mut acc, &mut rng);
-        }
-        acc
-    });
-    let mut iter = partials.into_iter();
-    let mut total = iter.next().unwrap_or_else(&init);
-    for p in iter {
-        merge(&mut total, p);
+    if plan.tasks == 0 {
+        return init();
     }
-    total
+    let mut runner = RoundRunner::new(plan.tasks, plan.seed, init);
+    runner.run_round(plan.trials, body);
+    runner.into_merged(merge)
+}
+
+struct TaskState<A> {
+    rng: Xoshiro256pp,
+    acc: A,
+}
+
+/// Resumable deterministic Monte-Carlo execution in rounds.
+///
+/// Holds one `(accumulator, RNG stream)` pair per task. Every call to
+/// [`RoundRunner::run_round`] splits the round's trials across the
+/// fixed task set (same remainder-first convention as
+/// [`MonteCarloPlan::trials_of_task`]) and lets each task continue its
+/// own stream where the previous round left it. Because task state
+/// never migrates between tasks, the accumulated result after any
+/// round prefix is a pure function of
+/// `(tasks, seed, round sizes so far)` — independent of thread count
+/// and of whether later rounds ever run. Stop decisions taken between
+/// rounds therefore cannot perturb the estimate they stopped.
+pub struct RoundRunner<A> {
+    seed: u64,
+    states: Vec<TaskState<A>>,
+    rounds: u32,
+    trials: u64,
+}
+
+impl<A: Send> RoundRunner<A> {
+    /// Creates `tasks` resumable task states for the given seed; task
+    /// `i` draws from `Xoshiro256pp::stream(seed, i)` for its lifetime.
+    ///
+    /// # Panics
+    /// Panics if `tasks == 0`.
+    pub fn new<I: Fn() -> A>(tasks: u32, seed: u64, init: I) -> Self {
+        assert!(tasks > 0, "at least one task");
+        let states = (0..tasks)
+            .map(|i| TaskState {
+                rng: Xoshiro256pp::stream(seed, u64::from(i)),
+                acc: init(),
+            })
+            .collect();
+        Self {
+            seed,
+            states,
+            rounds: 0,
+            trials: 0,
+        }
+    }
+
+    /// Number of tasks (fixed at construction).
+    pub fn tasks(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// Base seed the task streams were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Total trials executed across all rounds.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Executes one round of `trials` further trials, split across the
+    /// task set with the [`MonteCarloPlan::trials_of_task`] convention
+    /// (first `trials % tasks` tasks get one extra).
+    pub fn run_round<B>(&mut self, trials: u64, body: B)
+    where
+        B: Fn(&mut A, &mut Xoshiro256pp) + Sync,
+    {
+        let tasks = self.states.len() as u64;
+        let base = trials / tasks;
+        let extra = trials % tasks;
+        par_for_each_mut(&mut self.states, |i, state| {
+            let n = base + u64::from((i as u64) < extra);
+            for _ in 0..n {
+                body(&mut state.acc, &mut state.rng);
+            }
+        });
+        self.rounds += 1;
+        self.trials += trials;
+    }
+
+    /// Reduces a snapshot of the task accumulators in task order:
+    /// `map` projects each accumulator, `merge` folds projections into
+    /// the first one. Task-order folding keeps floating-point
+    /// reductions bit-stable across thread counts.
+    pub fn fold<R, P, M>(&self, map: P, merge: M) -> R
+    where
+        P: Fn(&A) -> R,
+        M: Fn(&mut R, R),
+    {
+        let mut iter = self.states.iter();
+        let first = iter.next().expect("RoundRunner has at least one task");
+        let mut total = map(&first.acc);
+        for s in iter {
+            merge(&mut total, map(&s.acc));
+        }
+        total
+    }
+
+    /// Consumes the runner, merging the task accumulators by value in
+    /// task order (the reduction used by [`run`]).
+    pub fn into_merged<M: Fn(&mut A, A)>(self, merge: M) -> A {
+        let mut iter = self.states.into_iter();
+        let mut total = iter.next().expect("RoundRunner has at least one task").acc;
+        for s in iter {
+            merge(&mut total, s.acc);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +287,66 @@ mod tests {
         );
         assert_eq!(counter.trials(), 200_000);
         assert!(counter.consistent_with(0.1, 3.9), "rate {}", counter.rate());
+    }
+
+    #[test]
+    fn rounds_are_a_prefix_of_the_uncapped_run() {
+        // Three geometric rounds must equal one round of the summed
+        // trial count, and stopping after round two must equal the
+        // two-round prefix of the three-round run — the early-stopping
+        // determinism argument in miniature.
+        let hits = |rounds: &[u64]| {
+            let mut r = RoundRunner::new(8, 33, || 0u64);
+            for &t in rounds {
+                r.run_round(t, |acc, rng| {
+                    let x = rng.next_f64();
+                    let y = rng.next_f64();
+                    if x * x + y * y <= 1.0 {
+                        *acc += 1;
+                    }
+                });
+            }
+            r.fold(|a| *a, |a, b| *a += b)
+        };
+        assert_eq!(hits(&[1000, 4000, 16000]), hits(&[21000]));
+        assert_eq!(hits(&[1000, 4000]), hits(&[5000]));
+    }
+
+    #[test]
+    fn round_runner_matches_run() {
+        let plan = MonteCarloPlan::with_tasks(40_000, 16, 5);
+        let via_run = run(
+            &plan,
+            ErrorCounter::new,
+            |acc, rng| acc.push(rng.next_f64() < 0.25),
+            |a, b| a.merge(&b),
+        );
+        let mut runner = RoundRunner::new(plan.tasks, plan.seed, ErrorCounter::new);
+        runner.run_round(plan.trials, |acc, rng| acc.push(rng.next_f64() < 0.25));
+        let via_rounds = runner.fold(|c| *c, |a, b| a.merge(&b));
+        assert_eq!(via_run.errors(), via_rounds.errors());
+        assert_eq!(via_run.trials(), via_rounds.trials());
+        assert_eq!(runner.rounds(), 1);
+        assert_eq!(runner.trials(), 40_000);
+        assert_eq!(runner.tasks(), 16);
+        assert_eq!(runner.seed(), 5);
+    }
+
+    #[test]
+    fn round_split_uses_plan_convention() {
+        // 10 trials over 4 tasks: tasks 0,1 run 3 trials, tasks 2,3
+        // run 2 — the trials_of_task convention, observable by counting
+        // per-task bodies.
+        let mut r = RoundRunner::new(4, 0, Vec::<u64>::new);
+        r.run_round(10, |acc, _| acc.push(1));
+        let per_task = r.fold(|a| vec![a.len() as u64], |a, b| a.extend(b));
+        assert_eq!(per_task, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = RoundRunner::new(0, 0, || 0u8);
     }
 
     #[test]

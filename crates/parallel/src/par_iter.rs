@@ -62,6 +62,51 @@ where
     out
 }
 
+/// Parallel in-place mutation: runs `f(index, &mut items[index])` for
+/// every element, partitioned contiguously across worker threads.
+///
+/// This is the primitive behind resumable Monte-Carlo rounds
+/// ([`crate::montecarlo::RoundRunner`]): each element owns independent
+/// state (accumulator + RNG stream), so the result is identical to the
+/// sequential loop regardless of how elements land on threads.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = num_threads();
+    if items.is_empty() {
+        return;
+    }
+    if threads == 1 || items.len() < 2 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let ranges = split_ranges(items.len(), threads);
+    std::thread::scope(|s| {
+        let mut rest = items;
+        let mut offset = 0;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let start = offset;
+            offset += r.len();
+            let f = &f;
+            handles.push(s.spawn(move || {
+                for (k, t) in head.iter_mut().enumerate() {
+                    f(start + k, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
 /// Parallel map over contiguous chunks of at most `chunk` elements;
 /// `f` receives `(chunk_index, chunk_slice)`. Chunk outputs are returned
 /// in order.
@@ -115,6 +160,26 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), xs.len());
         assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential() {
+        let mut par: Vec<u64> = (0..5000).collect();
+        let mut seq = par.clone();
+        par_for_each_mut(&mut par, |i, x| *x = *x * 3 + i as u64);
+        for (i, x) in seq.iter_mut().enumerate() {
+            *x = *x * 3 + i as u64;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn for_each_mut_empty_and_singleton() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| unreachable!());
+        let mut one = vec![7u32];
+        par_for_each_mut(&mut one, |i, x| *x += i as u32 + 1);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Thread-count determinism of campaign artefacts (DESIGN.md §8).
+//!
+//! This test mutates `HYBRIDEM_THREADS` between campaign runs, so it
+//! lives alone in its own test binary: `std::env::set_var` while other
+//! tests' worker threads call `getenv` is a data race on glibc. With a
+//! single `#[test]` in the process there are no concurrent readers
+//! outside the serial points where the variable changes.
+
+use hybridem::comm::campaign::{
+    run_campaign, CampaignSpec, ChannelScenario, DemapperFamily, EarlyStop,
+};
+use hybridem::comm::constellation::Constellation;
+use hybridem::mathkit::json::ToJson;
+
+fn spec() -> CampaignSpec<'static> {
+    let mut spec = CampaignSpec::new(
+        vec![DemapperFamily::maxlog_es_n0(Constellation::qam_gray(16))],
+        vec![ChannelScenario::awgn_es_n0()],
+        vec![6.0, 12.0],
+        31,
+    );
+    spec.stop = EarlyStop {
+        target_bit_errors: 100,
+        max_symbols_per_point: 65_536,
+        first_round_symbols: 4_096,
+        growth: 4,
+    };
+    spec.tasks = 12;
+    spec
+}
+
+#[test]
+fn artefact_bytes_identical_across_thread_counts() {
+    // Fixed `tasks` ⇒ the artefact is a pure function of (spec, seed):
+    // 1 worker thread and 8 worker threads must serialise to the same
+    // bytes (HYBRIDEM_THREADS is read per parallel region, so setting
+    // it between runs is effective).
+    let previous = std::env::var("HYBRIDEM_THREADS").ok();
+    let baseline = run_campaign(&spec()).to_json().to_string_pretty();
+    for threads in ["1", "8"] {
+        std::env::set_var("HYBRIDEM_THREADS", threads);
+        let run = run_campaign(&spec()).to_json().to_string_pretty();
+        assert_eq!(
+            run, baseline,
+            "campaign artefact changed with HYBRIDEM_THREADS={threads}"
+        );
+    }
+    match previous {
+        Some(v) => std::env::set_var("HYBRIDEM_THREADS", v),
+        None => std::env::remove_var("HYBRIDEM_THREADS"),
+    }
+}
