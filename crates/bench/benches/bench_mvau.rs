@@ -1,9 +1,13 @@
 //! Bit-exact MVAU datapath throughput at different foldings — the
-//! simulation cost behind the DOP ablation.
+//! simulation cost behind the DOP ablation — plus the block-size sweep
+//! that measures what the scratch-based `process_block_into` kernel
+//! buys over the allocating per-symbol `process` path
+//! (1/16/256/4096 symbols per call; gated in CI by the same
+//! `HYBRIDEM_BENCH_MS=1` smoke as the demapper sweep).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hybridem_fixed::QFormat;
-use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
+use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig, MvauScratch};
 use hybridem_mathkit::matrix::Matrix;
 use std::hint::black_box;
 
@@ -20,6 +24,33 @@ fn bench_mvau(c: &mut Criterion) {
         b.iter(|| black_box(mvau.process(black_box(&input))))
     });
     g.finish();
+
+    // Block-size sweep: the same 16×16 unit through the per-symbol
+    // legacy entry point (one `process` call — and one `Vec` — per
+    // symbol) versus the feature-major block kernel. Throughput is in
+    // symbols/s, so the block speedup reads straight off the Melem/s
+    // column; the acceptance bar is ≥2× at n=256.
+    let big: Vec<i64> = (0..4096 * 16)
+        .map(|i| ((i * 13) % 127) as i64 - 63)
+        .collect();
+    let mut sweep = c.benchmark_group("mvau_block_sweep");
+    for &n in &[1usize, 16, 256, 4096] {
+        sweep.throughput(Throughput::Elements(n as u64));
+        let inputs = &big[..n * 16];
+        let mut out = vec![0i64; n * 16];
+        sweep.bench_with_input(BenchmarkId::new("per_symbol", n), &n, |b, _| {
+            b.iter(|| {
+                for (sym, chunk) in inputs.chunks_exact(16).zip(out.chunks_exact_mut(16)) {
+                    chunk.copy_from_slice(&mvau.process(black_box(sym)));
+                }
+            })
+        });
+        let mut scratch = MvauScratch::new();
+        sweep.bench_with_input(BenchmarkId::new("block", n), &n, |b, _| {
+            b.iter(|| mvau.process_block_into(black_box(inputs), &mut out, &mut scratch))
+        });
+    }
+    sweep.finish();
 }
 
 criterion_group!(benches, bench_mvau);

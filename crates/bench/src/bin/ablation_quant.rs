@@ -3,51 +3,22 @@
 //! measure the BER of the *quantised* ANN inference against the f32
 //! reference — the design decision behind the paper's fixed-point HLS
 //! implementation.
+//!
+//! Both arms run the same code the rest of the workspace deploys: the
+//! quantised arm is the shared integer IR (`fpga::graph`, DESIGN.md
+//! §9) compiled per width by `build_inference_design`, slotted into
+//! the link simulator directly as a `Demapper` — no per-binary
+//! adapter, no per-symbol f32 round trips.
 
 use hybridem_bench::{banner, budget, write_json};
 use hybridem_comm::channel::{Awgn, Channel};
-use hybridem_comm::demapper::Demapper;
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
 use hybridem_core::config::SystemConfig;
 use hybridem_core::pipeline::HybridPipeline;
 use hybridem_fixed::QFormat;
-use hybridem_fpga::builder::{build_inference_design, DeployConfig, InferenceDesign};
+use hybridem_fpga::builder::{build_inference_design, DeployConfig};
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::Xoshiro256pp;
-
-/// Adapter: the quantised FPGA datapath as a link-level demapper.
-struct HwDemapper {
-    design: InferenceDesign,
-}
-
-impl HwDemapper {
-    /// LLR(b=0 vs 1) from the quantised probability of bit=1.
-    fn llrs_from_probs(probs: &[f32], out: &mut [f32]) {
-        for (o, &p) in out.iter_mut().zip(probs) {
-            let p = f64::from(p).clamp(1e-3, 1.0 - 1e-3);
-            *o = -hybridem_mathkit::special::logit(p) as f32;
-        }
-    }
-}
-
-impl Demapper for HwDemapper {
-    fn bits_per_symbol(&self) -> usize {
-        4
-    }
-    fn llrs(&self, y: C32, out: &mut [f32]) {
-        Self::llrs_from_probs(&self.design.process_iq(y), out);
-    }
-    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
-        // The quantised datapath processes one symbol per call, but the
-        // block override keeps the Monte-Carlo inner loop free of
-        // per-symbol virtual dispatch.
-        let m = self.bits_per_symbol();
-        assert_eq!(out.len(), ys.len() * m, "demap_block buffer size");
-        for (y, chunk) in ys.iter().zip(out.chunks_exact_mut(m)) {
-            Self::llrs_from_probs(&self.design.process_iq(*y), chunk);
-        }
-    }
-}
 
 struct QuantRow {
     bits: u32,
@@ -107,8 +78,9 @@ fn main() {
             ..DeployConfig::default()
         };
         let design = build_inference_design(pipe.ann_demapper().model(), &calibration, &dcfg);
-        let hw = HwDemapper { design };
-        let spec = LinkSpec::new(&constellation, &channel as &dyn Channel, &hw, symbols, 17);
+        // The compiled integer graph IS the demapper under test.
+        let hw = design.graph();
+        let spec = LinkSpec::new(&constellation, &channel as &dyn Channel, hw, symbols, 17);
         let ber = simulate_link(&spec).ber();
         rows.push(QuantRow {
             bits,

@@ -1,8 +1,10 @@
 //! **Campaign** — the paper's Fig. 2 waterfall comparison as a full
 //! SNR-sweep campaign: conventional max-log vs AE-inference vs hybrid
-//! centroids vs the fixed-point FPGA accelerator model, across the
-//! paper's channel impairments, with statistical early stopping
-//! (DESIGN.md §8) and a schema-validated JSON artefact.
+//! centroids vs the fixed-point FPGA accelerator model vs the
+//! QAT-fine-tuned quantised ANN at W4/W6/W8 (the BER-vs-bitwidth
+//! trade-off, DESIGN.md §9), across the paper's channel impairments,
+//! with statistical early stopping (DESIGN.md §8) and a
+//! schema-validated JSON artefact.
 //!
 //! Budget knobs: `HYBRIDEM_QUICK=1` cuts the AE training budget 8×;
 //! `HYBRIDEM_CAMPAIGN_TRIALS=<n>` caps simulated symbols per point
@@ -16,6 +18,7 @@ use hybridem_comm::theory::ber_qam16_gray;
 use hybridem_core::config::SystemConfig;
 use hybridem_core::eval::{campaign_families, paper_scenarios};
 use hybridem_core::pipeline::HybridPipeline;
+use hybridem_core::qat::{qat_quantized_demapper, QatConfig};
 use hybridem_fpga::demapper_accel::SoftDemapperConfig;
 use hybridem_mathkit::json::{FromJson, Json, ToJson};
 
@@ -40,6 +43,21 @@ fn main() {
         100.0 * report.voronoi_disagreement
     );
 
+    // QAT width sweep: fine-tune the trained demapper through the
+    // deployment's fake-quantisation noise at each width and lower it
+    // to the integer IR (DESIGN.md §9). W8 should sit on the float
+    // curve; W4 exposes the breakdown the paper's 8-bit choice avoids.
+    let quantized: Vec<_> = [4u32, 6, 8]
+        .iter()
+        .map(|&bits| {
+            let mut qcfg = QatConfig::at_bits(bits);
+            qcfg.steps = budget(600) as usize;
+            let graph = qat_quantized_demapper(&pipe, &qcfg);
+            eprintln!("QAT W{bits}: {} fine-tuning steps", qcfg.steps);
+            graph
+        })
+        .collect();
+
     let mut stop = EarlyStop::paper_default();
     if let Some(cap) = campaign_symbol_cap() {
         eprintln!("HYBRIDEM_CAMPAIGN_TRIALS: capping each point at {cap} symbols");
@@ -47,7 +65,7 @@ fn main() {
     }
 
     let mut spec = CampaignSpec::new(
-        campaign_families(&pipe, SoftDemapperConfig::paper_default()),
+        campaign_families(&pipe, SoftDemapperConfig::paper_default(), &quantized),
         paper_scenarios(4),
         vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
         20_220_517, // the paper's publication date as a seed
@@ -89,6 +107,16 @@ fn main() {
         spec.families.len() * spec.scenarios.len() * spec.snrs_db.len(),
         "one point per matrix cell"
     );
+    // The quantised-family rows must be present and complete — the CI
+    // smoke gates the BER-vs-bitwidth slice of the artefact on this.
+    for fam in ["ann-qat-w4", "ann-qat-w6", "ann-qat-w8"] {
+        let rows = reloaded.points.iter().filter(|p| p.family == fam).count();
+        assert_eq!(
+            rows,
+            spec.scenarios.len() * spec.snrs_db.len(),
+            "artefact must carry every {fam} row"
+        );
+    }
     println!(
         "schema check: {} points valid, {} early-stopped",
         reloaded.points.len(),

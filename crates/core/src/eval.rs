@@ -26,6 +26,7 @@ use hybridem_comm::demapper::{Demapper, MaxLogMap};
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
 use hybridem_comm::snr::{ebn0_to_esn0_db, noise_sigma};
 use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
+use hybridem_fpga::graph::QuantizedGraph;
 
 /// One measured operating point.
 #[derive(Clone, Debug)]
@@ -97,15 +98,21 @@ fn sigma_ebn0(snr_db: f64, bits: usize) -> f32 {
 ///    trained ANN itself (borrowed from the pipeline, not cloned);
 /// 3. `hybrid-centroids` — max-log on the extracted centroids;
 /// 4. `fixed-point-accel` — the bit-exact integer model of the FPGA
-///    soft-demapper accelerator running on the same centroids.
+///    soft-demapper accelerator running on the same centroids;
+/// 5. one `ann-qat-w{bits}` family per entry of `quantized` — the
+///    QAT-fine-tuned ANN lowered to the shared integer IR
+///    ([`hybridem_fpga::graph`], DESIGN.md §9), borrowed per grid
+///    point like the float ANN. Sweeping W4/W6/W8 here is what puts
+///    the BER-vs-bitwidth trade-off into the waterfall artefact.
 ///
 /// # Panics
 /// Panics unless [`HybridPipeline::extract_centroids`] ran (families 3
 /// and 4 need the extracted centroid set).
-pub fn campaign_families(
-    pipe: &HybridPipeline,
+pub fn campaign_families<'a>(
+    pipe: &'a HybridPipeline,
     accel_cfg: SoftDemapperConfig,
-) -> Vec<DemapperFamily<'_>> {
+    quantized: &'a [QuantizedGraph],
+) -> Vec<DemapperFamily<'a>> {
     let hybrid = pipe
         .hybrid_demapper()
         .expect("campaign_families needs extracted centroids: run extract_centroids() first");
@@ -117,7 +124,7 @@ pub fn campaign_families(
 
     let conv_tx = qam.clone();
     let hybrid_centroids = centroids.clone();
-    vec![
+    let mut families = vec![
         DemapperFamily::new(
             "conventional",
             conv_tx,
@@ -142,7 +149,7 @@ pub fn campaign_families(
         ),
         DemapperFamily::new(
             "fixed-point-accel",
-            learned,
+            learned.clone(),
             Box::new(move |snr| {
                 Box::new(SoftDemapperAccel::new(
                     accel_cfg.clone(),
@@ -151,7 +158,17 @@ pub fn campaign_families(
                 ))
             }),
         ),
-    ]
+    ];
+    for graph in quantized {
+        families.push(DemapperFamily::new(
+            format!("ann-qat-w{}", graph.weight_bits()),
+            learned.clone(),
+            // The quantised graph is SNR-agnostic like the float ANN:
+            // hand out a borrow per grid point.
+            Box::new(move |_snr| Box::new(graph)),
+        ));
+    }
+    families
 }
 
 /// The paper's channel impairments as campaign scenarios
@@ -253,14 +270,21 @@ mod tests {
         // wiring test needs.
         let mut pipe = HybridPipeline::new(SystemConfig::fast_test());
         let _ = pipe.extract_centroids();
-        let families = campaign_families(&pipe, SoftDemapperConfig::paper_default());
+        // One quantised family rides along: the W8 graph compiled
+        // straight from the (untrained) demapper model.
+        let mut qcfg = crate::qat::QatConfig::at_bits(8);
+        qcfg.steps = 10;
+        qcfg.batch = 32;
+        let quantized = vec![crate::qat::qat_quantized_demapper(&pipe, &qcfg)];
+        let families = campaign_families(&pipe, SoftDemapperConfig::paper_default(), &quantized);
         assert_eq!(
             families.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
             vec![
                 "conventional",
                 "AE-inference",
                 "hybrid-centroids",
-                "fixed-point-accel"
+                "fixed-point-accel",
+                "ann-qat-w8"
             ]
         );
 
@@ -283,7 +307,7 @@ mod tests {
         };
         spec.tasks = 4;
         let report = run_campaign(&spec);
-        assert_eq!(report.points.len(), 4);
+        assert_eq!(report.points.len(), 5);
         report.validate().expect("campaign artefact invariants");
         // The conventional receiver at 6 dB Eb/N0 must be in a sane
         // BER range; the untrained ANN must be much worse.

@@ -20,8 +20,10 @@
 //!    corrected-flip counts and triggers re-entry into phase 2.
 //!
 //! [`pipeline::HybridPipeline`] ties the phases together;
-//! [`eval`] regenerates the paper's BER comparisons; [`viz`] renders
-//! decision regions (Fig. 3) as ASCII/PGM.
+//! [`eval`] regenerates the paper's BER comparisons; [`qat`]
+//! quantisation-aware-fine-tunes the demapper for fixed-point
+//! deployment through the shared integer IR (DESIGN.md §9); [`viz`]
+//! renders decision regions (Fig. 3) as ASCII/PGM.
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ pub mod hybrid;
 pub mod mapper;
 pub mod pilot_centroids;
 pub mod pipeline;
+pub mod qat;
 pub mod retrain;
 pub mod viz;
 

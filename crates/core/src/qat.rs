@@ -1,0 +1,266 @@
+//! Quantisation-aware fine-tuning of the demapper ANN (DESIGN.md §9).
+//!
+//! The paper's central claim is that the learned demapper stays
+//! accurate *after* fixed-point FPGA implementation. Post-training
+//! quantisation alone leaves that to luck at narrow widths; the
+//! FINN-style remedy (cf. arXiv:2405.02323, arXiv:2304.06987) is to
+//! fine-tune the float network *through* the deployment's quantisation
+//! noise, so the optimiser absorbs it. This module implements that
+//! flow:
+//!
+//! 1. **Calibrate** — drive noisy pilot symbols through the trained
+//!    float model and fit one fixed-point format per tensor boundary
+//!    at the requested width ([`QatConfig::bits`]);
+//! 2. **Fine-tune** — rebuild the model with straight-through
+//!    [`hybridem_nn::layers::FakeQuant`] casts at every boundary and
+//!    run a short demapper-only training loop (mapper frozen, AWGN
+//!    pilots at the operating SNR) — training stays in f32 per the §1
+//!    substitution policy, only the injected rounding/saturation noise
+//!    is quantised;
+//! 3. **Deploy** — lower the QAT model to the shared integer IR with
+//!    [`hybridem_fpga::graph::compile_qat`]; the graph reads the
+//!    trained boundary formats straight out of the model.
+
+use crate::pipeline::HybridPipeline;
+use hybridem_comm::constellation::Constellation;
+use hybridem_fixed::{QuantSpec, Rounding};
+use hybridem_fpga::graph::QuantizedGraph;
+use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+use hybridem_nn::loss::bce_with_logits;
+use hybridem_nn::model::insert_fake_quant;
+use hybridem_nn::optim::Optimizer;
+use hybridem_nn::{Adam, Sequential};
+
+/// Budget and width of one QAT fine-tuning run.
+#[derive(Clone, Debug)]
+pub struct QatConfig {
+    /// Weight/activation width in bits (the W of W4/W6/W8). The I/O
+    /// converter boundaries (ADC input, LLR output) stay at
+    /// `bits.max(6)` — they model the fixed bus widths the paper's
+    /// design keeps while the datapath width is swept.
+    pub bits: u32,
+    /// Fine-tuning steps (demapper only, mapper frozen).
+    pub steps: usize,
+    /// Pilot batch size per step.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Calibration sample count for the range fit.
+    pub calibration: usize,
+    /// RNG seed (calibration noise and pilot stream).
+    pub seed: u64,
+}
+
+impl QatConfig {
+    /// Defaults for one width: 400 steps of 256 pilots at a gentle
+    /// fine-tuning rate.
+    pub fn at_bits(bits: u32) -> Self {
+        Self {
+            bits,
+            steps: 400,
+            batch: 256,
+            lr: 1e-3,
+            calibration: 2048,
+            seed: 0x9a7,
+        }
+    }
+}
+
+/// Result of a QAT fine-tuning run.
+pub struct QatOutcome {
+    /// The fine-tuned quantisation-aware model (FakeQuant boundaries
+    /// carrying the deployment formats).
+    pub model: Sequential,
+    /// The fitted tensor-boundary specs, in datapath order.
+    pub boundaries: Vec<QuantSpec>,
+    /// Loss of the first fine-tuning step (quantisation damage).
+    pub initial_loss: f32,
+    /// Loss of the final step.
+    pub final_loss: f32,
+}
+
+/// Calibrates tensor-boundary formats and fine-tunes `base` with
+/// straight-through fake quantisation: pilots are drawn from the
+/// frozen `constellation`, passed through AWGN at `sigma`, and the
+/// demapper-only BCE loss is minimised for [`QatConfig::steps`] steps.
+pub fn qat_finetune(
+    constellation: &Constellation,
+    base: &Sequential,
+    sigma: f32,
+    cfg: &QatConfig,
+) -> QatOutcome {
+    assert_eq!(base.input_dim(), 2, "demapper models take I/Q inputs");
+    assert!(cfg.steps >= 1, "need at least one fine-tuning step");
+    // Fail before spending the training budget: the integer IR can
+    // only lower dense/ReLU/sigmoid (`fpga::graph::compile_spec`), so
+    // reject anything else (e.g. tanh) up front.
+    for layer in base.layers() {
+        assert!(
+            matches!(layer.name(), "dense" | "relu" | "sigmoid"),
+            "QAT deploys through the quantized graph, which supports \
+             dense/relu/sigmoid only — found `{}`",
+            layer.name()
+        );
+    }
+    let m = constellation.bits_per_symbol();
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+
+    // 1. Calibration batch: noisy symbols at the operating point.
+    let n_cal = cfg.calibration.max(64);
+    let mut cal = Matrix::zeros(n_cal, 2);
+    for r in 0..n_cal {
+        let p = constellation.point(r % constellation.size());
+        cal[(r, 0)] = p.re + sigma * rng.normal_f32();
+        cal[(r, 1)] = p.im + sigma * rng.normal_f32();
+    }
+
+    // 2. Boundary fit: input at the ADC width, each dense layer's
+    // pre-activation range at the sweep width, output at the LLR-bus
+    // width (see QatConfig::bits).
+    let io_bits = cfg.bits.max(6);
+    let mut boundaries = vec![QuantSpec::fit_to_data(
+        io_bits,
+        cal.as_slice(),
+        Rounding::Nearest,
+    )];
+    // Each boundary sits *after* a dense layer's activation (the same
+    // placement `insert_fake_quant` uses — keep the peeked activation
+    // set here in lock-step with that function), so the range is
+    // measured on the post-activation tensor the cast will actually
+    // see. The layer-vocabulary assert above keeps the two walks
+    // trivially aligned.
+    let mut x = cal;
+    let mut dense_seen = 0usize;
+    let dense_count = base.layers().iter().filter(|l| l.name() == "dense").count();
+    let mut iter = base.layers().iter().peekable();
+    while let Some(layer) = iter.next() {
+        let is_dense = layer.name() == "dense";
+        x = layer.infer(&x);
+        if is_dense {
+            if let Some(next) = iter.peek() {
+                if matches!(next.name(), "relu" | "sigmoid") {
+                    x = iter.next().unwrap().infer(&x);
+                }
+            }
+            dense_seen += 1;
+            let width = if dense_seen == dense_count {
+                io_bits
+            } else {
+                cfg.bits
+            };
+            boundaries.push(QuantSpec::fit(width, x.max_abs() as f64, Rounding::Nearest));
+        }
+    }
+
+    // 3. Straight-through fine-tuning, mapper frozen.
+    let mut model = insert_fake_quant(base, &boundaries);
+    let mut opt = Adam::new(cfg.lr);
+    let mut initial_loss = f32::NAN;
+    let mut final_loss = f32::NAN;
+    let mut y = Matrix::zeros(cfg.batch, 2);
+    let mut targets = Matrix::zeros(cfg.batch, m);
+    for step in 0..cfg.steps {
+        for r in 0..cfg.batch {
+            let idx = (rng.next_u64() >> (64 - m)) as usize;
+            for k in 0..m {
+                targets[(r, k)] = ((idx >> (m - 1 - k)) & 1) as f32;
+            }
+            let p = constellation.point(idx);
+            y[(r, 0)] = p.re + sigma * rng.normal_f32();
+            y[(r, 1)] = p.im + sigma * rng.normal_f32();
+        }
+        model.zero_grad();
+        let z = model.forward(&y);
+        let (loss, grad) = bce_with_logits(&z, &targets);
+        model.backward(&grad);
+        opt.step(&mut model.params_mut());
+        if step == 0 {
+            initial_loss = loss;
+        }
+        final_loss = loss;
+    }
+
+    QatOutcome {
+        model,
+        boundaries,
+        initial_loss,
+        final_loss,
+    }
+}
+
+/// End-to-end convenience: QAT-fine-tunes the pipeline's trained
+/// demapper at the configured width and lowers it to the integer IR.
+/// The returned graph is a drop-in `Demapper` for campaigns and link
+/// simulations (family label `ann-qat-w{bits}`).
+pub fn qat_quantized_demapper(pipe: &HybridPipeline, cfg: &QatConfig) -> QuantizedGraph {
+    let constellation = pipe.constellation();
+    let outcome = qat_finetune(
+        &constellation,
+        pipe.ann_demapper().model(),
+        pipe.config().sigma(),
+        cfg,
+    );
+    hybridem_fpga::graph::compile_qat(&outcome.model, cfg.bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use hybridem_comm::demapper::Demapper;
+    use hybridem_mathkit::complex::C32;
+    use hybridem_nn::model::MlpSpec;
+
+    fn base_model(seed: u64) -> Sequential {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        MlpSpec::paper_demapper_logits().build(&mut rng)
+    }
+
+    #[test]
+    fn finetune_fits_one_boundary_per_tensor_and_improves_loss() {
+        let constellation = Constellation::qam_gray(16);
+        let base = base_model(1);
+        let mut cfg = QatConfig::at_bits(6);
+        cfg.steps = 200;
+        let out = qat_finetune(&constellation, &base, 0.1, &cfg);
+        assert_eq!(out.boundaries.len(), 4);
+        // I/O boundaries at the bus width, hidden at the sweep width.
+        assert_eq!(out.boundaries[0].format.total_bits, 6);
+        assert_eq!(out.boundaries[1].format.total_bits, 6);
+        assert_eq!(out.boundaries[3].format.total_bits, 6);
+        assert!(
+            out.final_loss < out.initial_loss,
+            "QAT fine-tuning must reduce the loss: {} → {}",
+            out.initial_loss,
+            out.final_loss
+        );
+        // The model round-trips its quant metadata.
+        assert_eq!(
+            hybridem_nn::model::boundary_specs(&out.model),
+            out.boundaries
+        );
+    }
+
+    #[test]
+    fn qat_graph_slots_into_the_demapper_trait() {
+        let mut cfg = SystemConfig::fast_test();
+        cfg.e2e_steps = 120;
+        cfg.batch_size = 64;
+        let mut pipe = HybridPipeline::new(cfg);
+        let _ = pipe.e2e_train();
+        let mut qcfg = QatConfig::at_bits(8);
+        qcfg.steps = 40;
+        let graph = qat_quantized_demapper(&pipe, &qcfg);
+        assert_eq!(graph.weight_bits(), 8);
+        assert_eq!(Demapper::bits_per_symbol(&graph), 4);
+        let ys = [C32::new(0.4, -0.2), C32::new(-1.0, 0.9)];
+        let mut block = [0f32; 8];
+        graph.demap_block(&ys, &mut block);
+        let mut single = [0f32; 4];
+        graph.llrs(ys[1], &mut single);
+        for k in 0..4 {
+            assert_eq!(block[4 + k].to_bits(), single[k].to_bits());
+        }
+    }
+}

@@ -92,6 +92,93 @@ proptest! {
     }
 
     #[test]
+    fn quantspec_round_trip_within_half_lsb(
+        f in formats(),
+        vs in proptest::collection::vec(-8.0f32..8.0, 1..64),
+    ) {
+        // The tensor path: quantize → dequantize through a QuantSpec
+        // under round-to-nearest recovers every in-range value to
+        // within half an LSB (out-of-range values clamp to the nearer
+        // format bound).
+        let spec = QuantSpec { format: f, rounding: Rounding::Nearest };
+        let raw = hybridem_fixed::quantize_slice(&spec, &vs);
+        let back = hybridem_fixed::dequantize(&spec, &raw);
+        let half_lsb = f.resolution() / 2.0 + 1e-6;
+        for (&v, &b) in vs.iter().zip(&back) {
+            if (v as f64) >= f.min_value() && (v as f64) <= f.max_value() {
+                prop_assert!(((v - b) as f64).abs() <= half_lsb,
+                    "{v} → {b} in {f}");
+            } else {
+                prop_assert!(b as f64 == f.min_value() || b as f64 == f.max_value(),
+                    "out-of-range {v} must clamp, got {b} in {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn fx_add_mul_saturation_never_wraps(
+        fa in formats(), fb in formats(), target in formats(),
+        ra in any::<i16>(), rb in any::<i16>(),
+    ) {
+        // Exact Fx sums/products pushed through a narrowing cast
+        // saturate — the result stays inside the target range and
+        // lands on the *correct* bound (no two's-complement
+        // wrap-around flipping the sign).
+        let a = Fx::from_raw((ra as i64).clamp(fa.raw_min(), fa.raw_max()), fa);
+        let b = Fx::from_raw((rb as i64).clamp(fb.raw_min(), fb.raw_max()), fb);
+        let half = target.resolution() / 2.0;
+        for v in [a.add_exact(&b), a.mul_exact(&b), a.sub_exact(&b)] {
+            let (r, clipped) = v.resize(target, Rounding::Nearest);
+            prop_assert!(r.raw() >= target.raw_min() && r.raw() <= target.raw_max());
+            let exact = v.to_f64();
+            // Values beyond rounding reach of the format bounds must
+            // clamp to the *correct* bound (saturation, not wrap).
+            if exact > target.max_value() + half {
+                prop_assert!(clipped);
+                prop_assert_eq!(r.raw(), target.raw_max(),
+                    "positive overflow must clamp high, not wrap: {} in {}", exact, target);
+            } else if exact < target.min_value() - half {
+                prop_assert!(clipped);
+                prop_assert_eq!(r.raw(), target.raw_min(),
+                    "negative overflow must clamp low, not wrap: {} in {}", exact, target);
+            } else {
+                // Within reach: the cast only loses fraction bits.
+                prop_assert!((r.to_f64() - exact).abs() <= half + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sqnr_tracks_six_db_per_fraction_bit(
+        frac in 4u32..13,
+        vs in proptest::collection::vec(-1.0f32..1.0, 256..512),
+    ) {
+        // Unit-range uniform inputs through an all-fraction signed
+        // format: quantisation noise is ≈ Δ²/12 with Δ = 2^−frac, so
+        // measured SQNR must track the analytic
+        // 10·log10(12·P_sig/Δ²) = 6.02·frac + 10·log10(12·P_sig)
+        // rule — i.e. ≈6 dB per fraction bit.
+        let f = QFormat::signed(frac + 1, frac);
+        let p_sig: f64 = vs.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+            / vs.len() as f64;
+        prop_assume!(p_sig > 0.02);
+        let spec = QuantSpec { format: f, rounding: Rounding::Nearest };
+        let back = hybridem_fixed::dequantize(&spec, &hybridem_fixed::quantize_slice(&spec, &vs));
+        let measured = hybridem_fixed::sqnr_db(&vs, &back);
+        // An infinite SQNR means every sample landed exactly on the
+        // grid — better than any finite bound, so nothing to check.
+        if !measured.is_infinite() {
+            let delta = f.resolution();
+            let analytic = 10.0 * (12.0 * p_sig / (delta * delta)).log10();
+            prop_assert!((measured - analytic).abs() <= 3.0,
+                "frac={}: measured {measured:.2} dB vs analytic {analytic:.2} dB", frac);
+            // And the headline rule of thumb: ≈6.02 dB per fraction bit.
+            prop_assert!(measured > 6.02 * frac as f64 - 12.0);
+            prop_assert!(measured < 6.02 * frac as f64 + 14.0);
+        }
+    }
+
+    #[test]
     fn dot_product_fold_invariance(
         xs in proptest::collection::vec(-1.0f32..1.0, 8),
         ws in proptest::collection::vec(-1.0f32..1.0, 8),

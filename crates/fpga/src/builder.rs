@@ -2,19 +2,20 @@
 //!
 //! [`build_inference_design`] performs the deployment flow the paper
 //! runs through Vivado HLS: range-calibrate every tensor, quantise
-//! weights and activations to 8-bit formats, instantiate one
-//! fully-unfolded MVAU per dense layer (runtime-writable weights, since
-//! retraining updates them in place), and attach the stream interface.
+//! weights and activations to 8-bit formats, lower the model through
+//! the quantized-graph IR ([`crate::graph`], one fully-unfolded MVAU
+//! per dense layer with runtime-writable weights, since retraining
+//! updates them in place), and attach the stream interface.
 //! [`build_soft_demapper_design`] wraps the centroid max-log
 //! accelerator, and [`build_trainer_design`] the on-chip trainer.
 
 use crate::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
-use crate::mvau::{HwActivation, Mvau, MvauConfig};
+use crate::graph::{compile_spec, GraphSpec, QuantizedGraph};
+use crate::mvau::Mvau;
 use crate::pipeline::{ExecutionMode, PipelineTiming, StageTiming};
 use crate::power::PowerModel;
 use crate::report::ImplReport;
 use crate::resources::ResourceUsage;
-use crate::sigmoid_lut::SigmoidLut;
 use crate::trainer::{TrainerConfig, TrainerDesign};
 use hybridem_fixed::{QFormat, QuantSpec, Rounding};
 use hybridem_mathkit::complex::C32;
@@ -51,11 +52,10 @@ impl Default for DeployConfig {
     }
 }
 
-/// A deployed ANN inference design: the quantised demapper datapath.
+/// A deployed ANN inference design: the quantised demapper datapath,
+/// executing the shared integer IR ([`QuantizedGraph`], DESIGN.md §9).
 pub struct InferenceDesign {
-    mvaus: Vec<Mvau>,
-    formats: Vec<QFormat>,
-    output_format: QFormat,
+    graph: QuantizedGraph,
     timing: PipelineTiming,
     clock_mhz: f64,
 }
@@ -63,22 +63,18 @@ pub struct InferenceDesign {
 impl InferenceDesign {
     /// Bit-exact inference: received sample → bit probabilities.
     pub fn process_iq(&self, y: C32) -> Vec<f32> {
-        let in_fmt = self.formats[0];
-        let mut raw: Vec<i64> = vec![
-            in_fmt.raw_from_f64(y.re as f64, Rounding::Nearest),
-            in_fmt.raw_from_f64(y.im as f64, Rounding::Nearest),
-        ];
-        for m in &self.mvaus {
-            raw = m.process(&raw);
-        }
-        raw.iter()
-            .map(|&r| self.output_format.f64_from_raw(r) as f32)
-            .collect()
+        self.graph.process_iq(y)
+    }
+
+    /// The compiled integer program — the block-streaming executor,
+    /// also a drop-in [`hybridem_comm::demapper::Demapper`].
+    pub fn graph(&self) -> &QuantizedGraph {
+        &self.graph
     }
 
     /// The MVAU chain.
     pub fn mvaus(&self) -> &[Mvau] {
-        &self.mvaus
+        self.graph.mvaus()
     }
 
     /// Pipeline timing of the design.
@@ -88,7 +84,7 @@ impl InferenceDesign {
 
     /// Total resources including the stream-interface FIFO.
     pub fn resources(&self) -> ResourceUsage {
-        let mut r: ResourceUsage = self.mvaus.iter().map(|m| m.resources()).sum();
+        let mut r: ResourceUsage = self.mvaus().iter().map(|m| m.resources()).sum();
         // AXI-stream input/output FIFO (half BRAM).
         r += ResourceUsage {
             bram36: 0.5,
@@ -134,81 +130,70 @@ pub fn build_inference_design(
         batch.row_mut(r).copy_from_slice(&[c.re, c.im]);
     }
 
-    struct DenseInfo {
-        weight: Matrix<f32>,
-        bias: Matrix<f32>,
-        act: &'static str,
-        pre_act_max: f32,
-    }
-    let mut infos: Vec<DenseInfo> = Vec::new();
+    // Per-dense-layer pre-activation range over the calibration batch.
+    let mut pre_act_max: Vec<f32> = Vec::new();
     let mut x = batch;
     for layer in model.layers() {
         match layer.name() {
             "dense" => {
-                let ps = layer.params();
                 let pre = layer.infer(&x);
-                infos.push(DenseInfo {
-                    weight: ps[0].value.clone(),
-                    bias: ps[1].value.clone(),
-                    act: "linear",
-                    pre_act_max: pre.max_abs(),
-                });
+                pre_act_max.push(pre.max_abs());
                 x = pre;
             }
-            act @ ("relu" | "sigmoid" | "tanh") => {
-                let last = infos
-                    .last_mut()
-                    .expect("activation requires a preceding dense layer");
-                last.act = match act {
-                    "relu" => "relu",
-                    "sigmoid" => "sigmoid",
-                    _ => "tanh",
-                };
+            "relu" | "sigmoid" | "tanh" => {
+                assert!(
+                    !pre_act_max.is_empty(),
+                    "activation requires a preceding dense layer"
+                );
                 x = layer.infer(&x);
             }
             other => panic!("unsupported layer {other} for deployment"),
         }
     }
 
-    let out_format = QFormat::unsigned(cfg.act_bits, cfg.act_bits);
-    let mut mvaus = Vec::new();
-    let mut formats = vec![cfg.input_format];
-    let mut in_fmt = cfg.input_format;
-    let n = infos.len();
-    for (i, info) in infos.iter().enumerate() {
-        let wspec =
-            QuantSpec::fit_to_data(cfg.weight_bits, info.weight.as_slice(), Rounding::Nearest);
-        let layer_out = if i + 1 == n {
+    // Lower through the shared IR: the calibration walk above becomes
+    // the graph's boundary specs, so this builder, the QAT flow and
+    // the ablations all execute the same integer program.
+    // Sigmoid heads emit probabilities: all-fraction unsigned uses
+    // every level on [0, 1). Linear (logits) heads feed LLRs, so the
+    // sign must survive — fit a signed format to the calibrated logit
+    // range instead of clamping negatives away.
+    let n = pre_act_max.len();
+    let out_format = if model.layers().last().map(|l| l.name()) == Some("sigmoid") {
+        QFormat::unsigned(cfg.act_bits, cfg.act_bits)
+    } else {
+        QuantSpec::fit(cfg.act_bits, pre_act_max[n - 1] as f64, Rounding::Nearest).format
+    };
+    let mut boundaries = vec![QuantSpec {
+        format: cfg.input_format,
+        rounding: Rounding::Nearest,
+    }];
+    for (i, &range) in pre_act_max.iter().enumerate() {
+        let format = if i + 1 == n {
             out_format
         } else {
             // Post-ReLU activations: fit the pre-activation range
             // (ReLU only clips negatives, magnitudes survive).
-            QuantSpec::fit(cfg.act_bits, info.pre_act_max as f64, Rounding::Nearest).format
+            QuantSpec::fit(cfg.act_bits, range as f64, Rounding::Nearest).format
         };
-        let activation = match info.act {
-            "relu" => HwActivation::Relu,
-            "sigmoid" => HwActivation::Sigmoid(SigmoidLut::new(
-                cfg.sigmoid_addr_bits,
-                (info.pre_act_max as f64).max(4.0),
-                out_format,
-            )),
-            "linear" => HwActivation::Linear,
-            other => panic!("unsupported hw activation {other}"),
-        };
-        let mcfg = MvauConfig::full_parallel(
-            info.weight.cols(),
-            info.weight.rows(),
-            wspec.format,
-            in_fmt,
-            layer_out,
-            true, // retraining rewrites weights in place
-        );
-        mvaus.push(Mvau::from_dense(mcfg, &info.weight, &info.bias, activation));
-        formats.push(layer_out);
-        in_fmt = layer_out;
+        boundaries.push(QuantSpec {
+            format,
+            rounding: Rounding::Nearest,
+        });
     }
+    let spec = GraphSpec {
+        boundaries,
+        weight_bits: vec![cfg.weight_bits; n],
+        sigmoid_addr_bits: cfg.sigmoid_addr_bits,
+        // Each sigmoid LUT clamps to its own layer's calibrated
+        // pre-activation range.
+        sigmoid_ranges: pre_act_max.iter().map(|&m| (m as f64).max(4.0)).collect(),
+        writable_weights: true, // retraining rewrites weights in place
+    };
+    let graph = compile_spec(model, &spec);
 
-    let stages: Vec<StageTiming> = mvaus
+    let stages: Vec<StageTiming> = graph
+        .mvaus()
         .iter()
         .map(|m| StageTiming {
             ii: m.config().ii_cycles(),
@@ -218,9 +203,7 @@ pub fn build_inference_design(
     let timing = PipelineTiming::new(stages, cfg.mode, cfg.clock_mhz);
 
     InferenceDesign {
-        mvaus,
-        formats,
-        output_format: out_format,
+        graph,
         timing,
         clock_mhz: cfg.clock_mhz,
     }

@@ -20,6 +20,30 @@ use crate::resources::{self, ResourceUsage};
 use hybridem_comm::demapper::Demapper;
 use hybridem_fixed::{QFormat, Rounding};
 use hybridem_mathkit::complex::C32;
+use std::cell::RefCell;
+
+/// Most bits a centroid set can encode (bounds the per-symbol stack
+/// buffers that keep the legacy entry points allocation-free).
+const MAX_BITS: usize = 16;
+
+/// Reusable block-kernel buffers. One set per thread: the link
+/// simulator demaps from many Monte-Carlo workers through
+/// `&dyn Demapper`, and thread-locals keep the integer path
+/// allocation-free after warm-up without serialising the workers.
+#[derive(Default)]
+struct TileScratch {
+    quant: Vec<(i64, i64)>,
+    min0: Vec<i64>,
+    min1: Vec<i64>,
+    dist: Vec<i64>,
+}
+
+thread_local! {
+    static TILE_SCRATCH: RefCell<TileScratch> = RefCell::new(TileScratch::default());
+    /// Raw-LLR staging for the f32 block view — separate cell so the
+    /// block kernel can borrow `TILE_SCRATCH` while this is held.
+    static RAW_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Configuration of the accelerator.
 #[derive(Clone, Debug)]
@@ -69,6 +93,10 @@ impl SoftDemapperAccel {
             m.is_multiple_of(cfg.dist_par),
             "dist_par must divide centroid count"
         );
+        assert!(
+            (m.trailing_zeros() as usize) <= MAX_BITS,
+            "at most {MAX_BITS} bits per symbol"
+        );
         assert!(sigma > 0.0);
         let quant: Vec<(i64, i64)> = centroids
             .iter()
@@ -114,16 +142,26 @@ impl SoftDemapperAccel {
     }
 
     /// Bit-exact demap of one received symbol: returns raw LLRs in
-    /// `llr_format` (positive ⇒ bit 0).
+    /// `llr_format` (positive ⇒ bit 0). Legacy allocating entry point —
+    /// routes through [`SoftDemapperAccel::process_into`].
     pub fn process(&self, y: C32) -> Vec<i64> {
+        let mut out = vec![0i64; self.bits_per_symbol];
+        self.process_into(y, &mut out);
+        out
+    }
+
+    /// Allocation-free per-symbol demap: raw LLRs in `llr_format` into
+    /// `out` (`bits_per_symbol` values, positive ⇒ bit 0).
+    pub fn process_into(&self, y: C32, out: &mut [i64]) {
+        let m = self.bits_per_symbol;
+        assert_eq!(out.len(), m, "process_into output width");
         let f = self.cfg.coord_format;
         let y_re = f.raw_from_f64(y.re as f64, Rounding::Nearest);
         let y_im = f.raw_from_f64(y.im as f64, Rounding::Nearest);
-        let m = self.bits_per_symbol;
         // Distance accumulator: (2·coord_bits + 1) bits of headroom,
-        // exact in i64.
-        let mut min0 = vec![i64::MAX; m];
-        let mut min1 = vec![i64::MAX; m];
+        // exact in i64. Stack planes (m ≤ MAX_BITS) keep this alloc-free.
+        let mut min0 = [i64::MAX; MAX_BITS];
+        let mut min1 = [i64::MAX; MAX_BITS];
         for (i, &(c_re, c_im)) in self.centroids.iter().enumerate() {
             let dr = y_re - c_re;
             let di = y_im - c_im;
@@ -144,15 +182,18 @@ impl SoftDemapperAccel {
         // DSP) gives dist_frac + scale_frac fraction bits, then a cast
         // to llr_format.
         let dist_frac = 2 * f.frac_bits;
-        (0..m)
-            .map(|k| self.scale_raw_llr(min1[k] - min0[k], dist_frac))
-            .collect()
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.scale_raw_llr(min1[k] - min0[k], dist_frac);
+        }
     }
 
     /// LLRs as f32 (dequantised) — the receiver-facing view.
+    /// Allocation-free: stages raw LLRs on the stack.
     pub fn llrs_f32(&self, y: C32, out: &mut [f32]) {
-        let raws = self.process(y);
-        for (o, &r) in out.iter_mut().zip(&raws) {
+        let m = self.bits_per_symbol;
+        let mut raws = [0i64; MAX_BITS];
+        self.process_into(y, &mut raws[..m]);
+        for (o, &r) in out.iter_mut().zip(&raws[..m]) {
             *o = self.cfg.llr_format.f64_from_raw(r) as f32;
         }
     }
@@ -188,7 +229,7 @@ impl SoftDemapperAccel {
         );
         if ys.len() <= 1 {
             if let Some(&y) = ys.first() {
-                out.copy_from_slice(&self.process(y));
+                self.process_into(y, out);
             }
             return;
         }
@@ -201,49 +242,54 @@ impl SoftDemapperAccel {
         }
     }
 
-    /// Integer point-outer kernel over one cache-resident tile.
+    /// Integer point-outer kernel over one cache-resident tile. All
+    /// staging buffers live in a per-thread scratch, so a warm thread
+    /// allocates nothing.
     fn process_tile(&self, ys: &[C32], out: &mut [i64]) {
         let m = self.bits_per_symbol;
         let n = ys.len();
         let f = self.cfg.coord_format;
-        let quant: Vec<(i64, i64)> = ys
-            .iter()
-            .map(|y| {
+        TILE_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.quant.clear();
+            s.quant.extend(ys.iter().map(|y| {
                 (
                     f.raw_from_f64(y.re as f64, Rounding::Nearest),
                     f.raw_from_f64(y.im as f64, Rounding::Nearest),
                 )
-            })
-            .collect();
-        let mut min0 = vec![i64::MAX; m * n];
-        let mut min1 = vec![i64::MAX; m * n];
-        let mut dist = vec![0i64; n];
-        for (i, &(c_re, c_im)) in self.centroids.iter().enumerate() {
-            for (d, &(y_re, y_im)) in dist.iter_mut().zip(&quant) {
-                let dr = y_re - c_re;
-                let di = y_im - c_im;
-                *d = dr * dr + di * di;
-            }
-            for k in 0..m {
-                let bit = (i >> (m - 1 - k)) & 1;
-                let plane = if bit == 0 {
-                    &mut min0[k * n..(k + 1) * n]
-                } else {
-                    &mut min1[k * n..(k + 1) * n]
-                };
-                for (p, &d) in plane.iter_mut().zip(&dist) {
-                    if d < *p {
-                        *p = d;
+            }));
+            s.min0.clear();
+            s.min0.resize(m * n, i64::MAX);
+            s.min1.clear();
+            s.min1.resize(m * n, i64::MAX);
+            s.dist.resize(n, 0);
+            for (i, &(c_re, c_im)) in self.centroids.iter().enumerate() {
+                for (d, &(y_re, y_im)) in s.dist.iter_mut().zip(&s.quant) {
+                    let dr = y_re - c_re;
+                    let di = y_im - c_im;
+                    *d = dr * dr + di * di;
+                }
+                for k in 0..m {
+                    let bit = (i >> (m - 1 - k)) & 1;
+                    let plane = if bit == 0 {
+                        &mut s.min0[k * n..(k + 1) * n]
+                    } else {
+                        &mut s.min1[k * n..(k + 1) * n]
+                    };
+                    for (p, &d) in plane.iter_mut().zip(&s.dist) {
+                        if d < *p {
+                            *p = d;
+                        }
                     }
                 }
             }
-        }
-        let dist_frac = 2 * f.frac_bits;
-        for (s, chunk) in out.chunks_exact_mut(m).enumerate() {
-            for (k, o) in chunk.iter_mut().enumerate() {
-                *o = self.scale_raw_llr(min1[k * n + s] - min0[k * n + s], dist_frac);
+            let dist_frac = 2 * f.frac_bits;
+            for (sym, chunk) in out.chunks_exact_mut(m).enumerate() {
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = self.scale_raw_llr(s.min1[k * n + sym] - s.min0[k * n + sym], dist_frac);
+                }
             }
-        }
+        });
     }
 
     /// Dequantised block demap (symbol-major f32 LLRs) — the
@@ -256,11 +302,14 @@ impl SoftDemapperAccel {
             "llrs_f32_block output buffer must hold exactly {} LLRs",
             ys.len() * m
         );
-        let mut raws = vec![0i64; ys.len() * m];
-        self.process_block(ys, &mut raws);
-        for (o, &r) in out.iter_mut().zip(&raws) {
-            *o = self.cfg.llr_format.f64_from_raw(r) as f32;
-        }
+        RAW_SCRATCH.with(|cell| {
+            let raws = &mut *cell.borrow_mut();
+            raws.resize(ys.len() * m, 0);
+            self.process_block(ys, raws);
+            for (o, &r) in out.iter_mut().zip(raws.iter()) {
+                *o = self.cfg.llr_format.f64_from_raw(r) as f32;
+            }
+        });
     }
 
     /// Pipeline timing: distance wave-front (II = M/dist_par), running

@@ -10,8 +10,12 @@
 //!    matrix-vector-activation unit executing the quantised demapper in
 //!    [`hybridem_fixed`] arithmetic) and
 //!    [`demapper_accel::SoftDemapperAccel`] (the centroid max-log
-//!    datapath). Their numeric outputs are checked against the f32
-//!    reference models within analytic quantisation bounds.
+//!    datapath). [`graph`] lowers trained models — plain or
+//!    quantisation-aware — to one shared integer IR
+//!    ([`graph::QuantizedGraph`], DESIGN.md §9) that streams whole
+//!    blocks allocation-free and slots into the link simulator as a
+//!    demapper. Numeric outputs are checked against the f32 reference
+//!    models within analytic quantisation bounds.
 //! 2. **Cycle timing** — [`pipeline`] computes per-token latency and
 //!    initiation intervals through chains of stages with arbitrary
 //!    folding, reproducing HLS dataflow timing.
@@ -32,6 +36,7 @@
 pub mod builder;
 pub mod demapper_accel;
 pub mod device;
+pub mod graph;
 pub mod mvau;
 pub mod pipeline;
 pub mod power;
@@ -43,5 +48,6 @@ pub mod trainer;
 
 pub use builder::{build_inference_design, build_soft_demapper_design, build_trainer_design};
 pub use device::DeviceModel;
+pub use graph::{compile, compile_qat, QuantizedGraph};
 pub use report::ImplReport;
 pub use resources::ResourceUsage;

@@ -116,6 +116,51 @@ fn ceil_log2(n: usize) -> u32 {
     (usize::BITS - (n - 1).leading_zeros()).max(1)
 }
 
+/// Reusable buffers for [`Mvau::process_block_into`], mirroring
+/// `hybridem_nn`'s `InferScratch`: after one warm-up block at a given
+/// tile size the buffers are at their high-water mark and the whole
+/// integer pipeline allocates nothing (asserted by the fpga crate's
+/// counting-allocator test).
+pub struct MvauScratch {
+    /// Feature-major transpose of one input tile (`in_dim` planes of
+    /// `tile` raw values each) — the layout that lets the MAC inner
+    /// loop stream unit-stride.
+    tr: Vec<i64>,
+    /// Per-symbol accumulators for one output neuron over a tile.
+    acc: Vec<i64>,
+    /// Neuron-major activated outputs of one tile, transposed to the
+    /// symbol-major output layout in one pass (unit-stride writes in
+    /// both stages).
+    outp: Vec<i64>,
+    /// 32-bit twins of `tr`/`acc` for the narrow-format fast path.
+    tr32: Vec<i32>,
+    acc32: Vec<i32>,
+}
+
+impl MvauScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            tr: Vec::new(),
+            acc: Vec::new(),
+            outp: Vec::new(),
+            tr32: Vec::new(),
+            acc32: Vec::new(),
+        }
+    }
+}
+
+impl Default for MvauScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Symbols per cache-resident block tile (the comm-side demapper
+/// tiling constant, so both halves of the receiver stream in the same
+/// granularity).
+const TILE: usize = hybridem_comm::demapper::BLOCK_TILE;
+
 /// A configured MVAU holding quantised weights.
 #[derive(Clone, Debug)]
 pub struct Mvau {
@@ -125,6 +170,13 @@ pub struct Mvau {
     weights: Vec<i64>,
     /// Raw biases in the accumulator format.
     biases: Vec<i64>,
+    /// 32-bit copy of the weights when every possible accumulation —
+    /// bias plus the worst-case product sum — provably fits an `i32`.
+    /// The block kernel then runs 32-bit MACs (twice the SIMD lanes,
+    /// single-instruction vector multiplies) with results identical to
+    /// the 64-bit path: exact integer arithmetic is exact at any width
+    /// that never overflows.
+    weights32: Option<Vec<i32>>,
 }
 
 impl Mvau {
@@ -143,22 +195,33 @@ impl Mvau {
             format: cfg.weight_format,
             rounding: Rounding::Nearest,
         };
-        let weights = weight
+        let weights: Vec<i64> = weight
             .as_slice()
             .iter()
             .map(|&w| wspec.quantize(w))
             .collect();
         let acc = cfg.acc_format();
-        let biases = bias
+        let biases: Vec<i64> = bias
             .as_slice()
             .iter()
             .map(|&b| acc.raw_from_f64(b as f64, Rounding::Nearest))
             .collect();
+        // |bias| ≤ acc_max and |Σ products| ≤ acc_max (the accumulator
+        // format's guard bits cover the worst case), so every partial
+        // sum is bounded by 2·acc_max < 2^(acc_bits+1): one extra bit
+        // of headroom suffices.
+        // (acc_bits + 1 headroom bits must fit the 31 value bits of i32)
+        let weights32 = if acc.total_bits < 31 {
+            Some(weights.iter().map(|&w| w as i32).collect())
+        } else {
+            None
+        };
         Self {
             cfg,
             activation,
             weights,
             biases,
+            weights32,
         }
     }
 
@@ -178,14 +241,25 @@ impl Mvau {
     }
 
     /// Bit-exact forward pass for one input vector (raw values in
-    /// `in_format`). Fold-invariant by integer associativity.
+    /// `in_format`). Fold-invariant by integer associativity. Legacy
+    /// allocating entry point — routes through
+    /// [`Mvau::process_into`]; hot paths should call that or
+    /// [`Mvau::process_block_into`] directly.
     pub fn process(&self, input_raw: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; self.cfg.out_dim];
+        self.process_into(input_raw, &mut out);
+        out
+    }
+
+    /// Allocation-free per-symbol forward pass writing raw outputs
+    /// into `out` (`out_dim` values in `out_format`).
+    pub fn process_into(&self, input_raw: &[i64], out: &mut [i64]) {
         assert_eq!(input_raw.len(), self.cfg.in_dim, "input width");
+        assert_eq!(out.len(), self.cfg.out_dim, "output width");
         let acc_fmt = self.cfg.acc_format();
         let prod_frac = self.cfg.in_format.frac_bits + self.cfg.weight_format.frac_bits;
         debug_assert_eq!(acc_fmt.frac_bits, prod_frac);
-        let mut out = Vec::with_capacity(self.cfg.out_dim);
-        for o in 0..self.cfg.out_dim {
+        for (o, slot) in out.iter_mut().enumerate() {
             let row = &self.weights[o * self.cfg.in_dim..(o + 1) * self.cfg.in_dim];
             let mut acc: i64 = self.biases[o];
             for (&w, &x) in row.iter().zip(input_raw) {
@@ -195,9 +269,93 @@ impl Mvau {
             // overflow impossible for worst-case inputs, but keep the
             // hardware semantics explicit).
             let (acc, _) = acc_fmt.saturate(acc);
-            out.push(self.apply_activation(acc, acc_fmt));
+            *slot = self.apply_activation(acc, acc_fmt);
         }
-        out
+    }
+
+    /// Bit-exact block forward pass: `inputs` holds `n · in_dim` raw
+    /// values symbol-major, `out` receives `n · out_dim` raw outputs
+    /// symbol-major. Results equal a [`Mvau::process`] loop exactly —
+    /// every `(symbol, neuron)` accumulation runs in the same fan-in
+    /// order, and integer addition is associative — but the kernel is
+    /// restructured for throughput: each input tile is transposed to
+    /// feature-major planes once, then every weight scalar streams
+    /// across a contiguous plane of symbols (unit-stride MACs), and
+    /// nothing allocates once `scratch` is warm.
+    pub fn process_block_into(&self, inputs: &[i64], out: &mut [i64], scratch: &mut MvauScratch) {
+        let in_dim = self.cfg.in_dim;
+        let out_dim = self.cfg.out_dim;
+        assert!(
+            inputs.len().is_multiple_of(in_dim),
+            "block input length must be a multiple of in_dim"
+        );
+        let n = inputs.len() / in_dim;
+        assert_eq!(out.len(), n * out_dim, "block output buffer size");
+        let acc_fmt = self.cfg.acc_format();
+        for (in_tile, out_tile) in inputs
+            .chunks(TILE * in_dim)
+            .zip(out.chunks_mut(TILE * out_dim))
+        {
+            let nt = in_tile.len() / in_dim;
+            scratch.outp.resize(out_dim * nt, 0);
+            if let Some(w32) = &self.weights32 {
+                // Narrow fast path: 32-bit MACs, provably exact (see
+                // the `weights32` invariant).
+                scratch.tr32.resize(in_dim * nt, 0);
+                for (s, sym) in in_tile.chunks_exact(in_dim).enumerate() {
+                    for (i, &x) in sym.iter().enumerate() {
+                        scratch.tr32[i * nt + s] = x as i32;
+                    }
+                }
+                scratch.acc32.resize(nt, 0);
+                scratch.acc.resize(nt, 0);
+                for o in 0..out_dim {
+                    let row = &w32[o * in_dim..(o + 1) * in_dim];
+                    scratch.acc32.fill(self.biases[o] as i32);
+                    for (i, &w) in row.iter().enumerate() {
+                        let plane = &scratch.tr32[i * nt..(i + 1) * nt];
+                        for (a, &x) in scratch.acc32.iter_mut().zip(plane) {
+                            *a += w * x;
+                        }
+                    }
+                    for (d, &a) in scratch.acc.iter_mut().zip(&scratch.acc32) {
+                        *d = acc_fmt.saturate(a as i64).0;
+                    }
+                    let oplane = &mut scratch.outp[o * nt..(o + 1) * nt];
+                    self.apply_activation_plane(acc_fmt, &scratch.acc, oplane);
+                }
+            } else {
+                // Wide path: 64-bit MACs over the transposed planes.
+                scratch.tr.resize(in_dim * nt, 0);
+                for (s, sym) in in_tile.chunks_exact(in_dim).enumerate() {
+                    for (i, &x) in sym.iter().enumerate() {
+                        scratch.tr[i * nt + s] = x;
+                    }
+                }
+                scratch.acc.resize(nt, 0);
+                for o in 0..out_dim {
+                    let row = &self.weights[o * in_dim..(o + 1) * in_dim];
+                    scratch.acc.fill(self.biases[o]);
+                    for (i, &w) in row.iter().enumerate() {
+                        let plane = &scratch.tr[i * nt..(i + 1) * nt];
+                        for (a, &x) in scratch.acc.iter_mut().zip(plane) {
+                            *a += w * x;
+                        }
+                    }
+                    for a in scratch.acc.iter_mut() {
+                        *a = acc_fmt.saturate(*a).0;
+                    }
+                    let oplane = &mut scratch.outp[o * nt..(o + 1) * nt];
+                    self.apply_activation_plane(acc_fmt, &scratch.acc, oplane);
+                }
+            }
+            // Neuron-major → symbol-major in one pass.
+            for (s, sym) in out_tile.chunks_exact_mut(out_dim).enumerate() {
+                for (o, slot) in sym.iter_mut().enumerate() {
+                    *slot = scratch.outp[o * nt + s];
+                }
+            }
+        }
     }
 
     fn apply_activation(&self, acc_raw: i64, acc_fmt: QFormat) -> i64 {
@@ -212,6 +370,36 @@ impl Mvau {
                 .cast(self.cfg.out_format, Rounding::Nearest)
                 .raw(),
             HwActivation::Sigmoid(lut) => lut.lookup(acc_raw, acc_fmt),
+        }
+    }
+
+    /// The block kernels' epilogue: [`Mvau::apply_activation`] over a
+    /// whole saturated-accumulator plane, with the activation dispatch
+    /// hoisted out of the inner loop so the cast arithmetic (the same
+    /// `Fx` operations, branch for branch) runs in tight monomorphic
+    /// loops the compiler can vectorise.
+    fn apply_activation_plane(&self, acc_fmt: QFormat, accs: &[i64], out: &mut [i64]) {
+        match &self.activation {
+            HwActivation::Relu => {
+                for (op, &a) in out.iter_mut().zip(accs) {
+                    let clamped = a.max(0);
+                    *op = hybridem_fixed::Fx::from_raw(clamped, acc_fmt)
+                        .cast(self.cfg.out_format, Rounding::Truncate)
+                        .raw();
+                }
+            }
+            HwActivation::Linear => {
+                for (op, &a) in out.iter_mut().zip(accs) {
+                    *op = hybridem_fixed::Fx::from_raw(a, acc_fmt)
+                        .cast(self.cfg.out_format, Rounding::Nearest)
+                        .raw();
+                }
+            }
+            HwActivation::Sigmoid(lut) => {
+                for (op, &a) in out.iter_mut().zip(accs) {
+                    *op = lut.lookup(a, acc_fmt);
+                }
+            }
         }
     }
 
@@ -351,6 +539,31 @@ mod tests {
         for (simd, pe) in [(1, 1), (2, 1), (4, 1), (1, 2), (2, 2)] {
             let folded = make_mvau(simd, pe, HwActivation::Relu);
             assert_eq!(folded.process(&input), reference, "simd={simd} pe={pe}");
+        }
+    }
+
+    #[test]
+    fn block_kernel_bit_exact_with_per_symbol() {
+        for (simd, pe, act) in [
+            (4, 2, HwActivation::Relu),
+            (2, 1, HwActivation::Linear),
+            (
+                1,
+                2,
+                HwActivation::Sigmoid(SigmoidLut::new(8, 8.0, QFormat::unsigned(8, 8))),
+            ),
+        ] {
+            let mvau = make_mvau(simd, pe, act);
+            let mut scratch = MvauScratch::new();
+            for n in [0usize, 1, 3, 300, 1024] {
+                let inputs: Vec<i64> = (0..n * 4).map(|i| ((i * 13) % 127) as i64 - 63).collect();
+                let mut block = vec![0i64; n * 2];
+                mvau.process_block_into(&inputs, &mut block, &mut scratch);
+                for s in 0..n {
+                    let single = mvau.process(&inputs[s * 4..(s + 1) * 4]);
+                    assert_eq!(&block[s * 2..(s + 1) * 2], &single[..], "symbol {s} n={n}");
+                }
+            }
         }
     }
 

@@ -82,6 +82,15 @@ pub trait Layer: Send + Sync {
 
     /// Output feature count for a given input feature count.
     fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// The fixed-point cast this layer simulates, when it is a
+    /// fake-quantisation boundary ([`crate::layers::FakeQuant`]). The
+    /// FPGA graph compiler reads these to reconstruct the integer
+    /// datapath formats a QAT model was trained against; all other
+    /// layers report `None`.
+    fn quant_spec(&self) -> Option<hybridem_fixed::QuantSpec> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! checkpointed, shipped to the FPGA builder, and reloaded in tests.
 
 use crate::layer::{Layer, Param};
-use crate::layers::{Dense, Relu, Sigmoid, Tanh};
+use crate::layers::{Dense, FakeQuant, Relu, Sigmoid, Tanh};
+use hybridem_fixed::{QFormat, QuantSpec, Rounding};
 use hybridem_mathkit::json::{FromJson, Json, JsonError, ToJson};
 use hybridem_mathkit::matrix::Matrix;
 use hybridem_mathkit::rng::Xoshiro256pp;
@@ -255,6 +256,11 @@ impl Sequential {
                     "relu" => LayerSnapshot::Relu,
                     "sigmoid" => LayerSnapshot::Sigmoid,
                     "tanh" => LayerSnapshot::Tanh,
+                    "fake_quant" => LayerSnapshot::FakeQuant {
+                        spec: l
+                            .quant_spec()
+                            .expect("fake_quant layer must expose its QuantSpec"),
+                    },
                     other => panic!("unsnapshotable layer {other}"),
                 })
                 .collect(),
@@ -285,11 +291,85 @@ impl Sequential {
                     LayerSnapshot::Relu => Box::new(Relu::new()),
                     LayerSnapshot::Sigmoid => Box::new(Sigmoid::new()),
                     LayerSnapshot::Tanh => Box::new(Tanh::new()),
+                    LayerSnapshot::FakeQuant { spec } => Box::new(FakeQuant::new(spec)),
                 }
             })
             .collect();
         Self::new(layers, snap.input_dim)
     }
+}
+
+/// Rebuilds a float model as a quantisation-aware one: a
+/// [`FakeQuant`] cast is inserted at every tensor boundary of the
+/// deployed integer datapath — in front of the first layer (the
+/// input/ADC format) and after each dense layer's activation (the
+/// layer's activation format). `boundaries` therefore holds
+/// `dense_count + 1` specs, in datapath order. Weights stay in f32;
+/// the FPGA graph compiler (DESIGN.md §9) quantises them at deploy
+/// time and reads the boundary specs back out of the model via
+/// [`Layer::quant_spec`].
+///
+/// # Panics
+/// Panics if `model` already contains fake-quantisation layers or if
+/// `boundaries` does not match the dense-layer count.
+pub fn insert_fake_quant(model: &Sequential, boundaries: &[QuantSpec]) -> Sequential {
+    let snap = model.snapshot();
+    assert!(
+        !snap
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerSnapshot::FakeQuant { .. })),
+        "model is already quantisation-aware"
+    );
+    let dense_count = snap
+        .layers
+        .iter()
+        .filter(|l| matches!(l, LayerSnapshot::Dense { .. }))
+        .count();
+    assert_eq!(
+        boundaries.len(),
+        dense_count + 1,
+        "need one boundary spec per dense layer plus the input"
+    );
+
+    let mut qat = Vec::with_capacity(snap.layers.len() + boundaries.len());
+    qat.push(LayerSnapshot::FakeQuant {
+        spec: boundaries[0],
+    });
+    let mut di = 0usize;
+    let mut iter = snap.layers.into_iter().peekable();
+    while let Some(l) = iter.next() {
+        let is_dense = matches!(l, LayerSnapshot::Dense { .. });
+        qat.push(l);
+        if is_dense {
+            // The boundary sits after the dense layer's activation.
+            if matches!(
+                iter.peek(),
+                Some(LayerSnapshot::Relu | LayerSnapshot::Sigmoid | LayerSnapshot::Tanh)
+            ) {
+                qat.push(iter.next().unwrap());
+            }
+            di += 1;
+            qat.push(LayerSnapshot::FakeQuant {
+                spec: boundaries[di],
+            });
+        }
+    }
+    Sequential::from_snapshot(ModelSnapshot {
+        input_dim: snap.input_dim,
+        layers: qat,
+    })
+}
+
+/// Reads the fake-quantisation boundary specs back out of a QAT model
+/// (one per [`FakeQuant`] layer, in layer order). Empty for a plain
+/// float model.
+pub fn boundary_specs(model: &Sequential) -> Vec<QuantSpec> {
+    model
+        .layers()
+        .iter()
+        .filter_map(|l| l.quant_spec())
+        .collect()
 }
 
 /// One serialised layer.
@@ -308,6 +388,11 @@ pub enum LayerSnapshot {
     Sigmoid,
     /// Tanh activation.
     Tanh,
+    /// Straight-through fake-quantisation boundary (QAT).
+    FakeQuant {
+        /// The fixed-point cast the layer simulates.
+        spec: QuantSpec,
+    },
 }
 
 /// A serialised model: architecture plus weights.
@@ -370,7 +455,31 @@ impl ToJson for LayerSnapshot {
             LayerSnapshot::Relu => Json::object([("kind", "relu".to_json())]),
             LayerSnapshot::Sigmoid => Json::object([("kind", "sigmoid".to_json())]),
             LayerSnapshot::Tanh => Json::object([("kind", "tanh".to_json())]),
+            LayerSnapshot::FakeQuant { spec } => Json::object([
+                ("kind", "fake_quant".to_json()),
+                ("total_bits", spec.format.total_bits.to_json()),
+                ("frac_bits", spec.format.frac_bits.to_json()),
+                ("signed", spec.format.signed.to_json()),
+                ("rounding", rounding_name(spec.rounding).to_json()),
+            ]),
         }
+    }
+}
+
+fn rounding_name(r: Rounding) -> &'static str {
+    match r {
+        Rounding::Truncate => "truncate",
+        Rounding::Nearest => "nearest",
+        Rounding::NearestEven => "nearest_even",
+    }
+}
+
+fn rounding_from_name(name: &str) -> Result<Rounding, JsonError> {
+    match name {
+        "truncate" => Ok(Rounding::Truncate),
+        "nearest" => Ok(Rounding::Nearest),
+        "nearest_even" => Ok(Rounding::NearestEven),
+        other => Err(JsonError::new(format!("unknown rounding `{other}`"))),
     }
 }
 
@@ -384,6 +493,22 @@ impl FromJson for LayerSnapshot {
             "relu" => Ok(LayerSnapshot::Relu),
             "sigmoid" => Ok(LayerSnapshot::Sigmoid),
             "tanh" => Ok(LayerSnapshot::Tanh),
+            "fake_quant" => {
+                let total = u32::from_json(v.field("total_bits")?)?;
+                let frac = u32::from_json(v.field("frac_bits")?)?;
+                let signed = bool::from_json(v.field("signed")?)?;
+                let format = if signed {
+                    QFormat::signed(total, frac)
+                } else {
+                    QFormat::unsigned(total, frac)
+                };
+                Ok(LayerSnapshot::FakeQuant {
+                    spec: QuantSpec {
+                        format,
+                        rounding: rounding_from_name(v.field("rounding")?.as_str()?)?,
+                    },
+                })
+            }
             other => Err(JsonError::new(format!("unknown layer kind `{other}`"))),
         }
     }
@@ -469,6 +594,73 @@ mod tests {
             .map(hybridem_mathkit::special::sigmoid_f32);
         assert!(probs[(0, 0)] < 0.5 && probs[(3, 0)] < 0.5);
         assert!(probs[(1, 0)] > 0.5 && probs[(2, 0)] > 0.5);
+    }
+
+    #[test]
+    fn insert_fake_quant_places_one_boundary_per_tensor() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let model = MlpSpec::paper_demapper_logits().build(&mut rng);
+        let specs: Vec<QuantSpec> = [(8u32, 5u32), (8, 4), (8, 4), (10, 4)]
+            .iter()
+            .map(|&(t, f)| QuantSpec {
+                format: QFormat::signed(t, f),
+                rounding: Rounding::Nearest,
+            })
+            .collect();
+        let qat = insert_fake_quant(&model, &specs);
+        assert_eq!(crate::model::boundary_specs(&qat), specs);
+        assert_eq!(qat.input_dim(), 2);
+        assert_eq!(qat.output_dim(), 4);
+        // dense,relu,dense,relu,dense + 4 fake_quant boundaries.
+        assert_eq!(qat.depth(), 9);
+        // Boundary order: input cast first, output cast last.
+        assert_eq!(qat.layers()[0].name(), "fake_quant");
+        assert_eq!(qat.layers()[qat.depth() - 1].name(), "fake_quant");
+    }
+
+    #[test]
+    #[should_panic(expected = "already quantisation-aware")]
+    fn insert_fake_quant_rejects_double_insertion() {
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let model = MlpSpec::paper_demapper_logits().build(&mut rng);
+        let spec = QuantSpec {
+            format: QFormat::signed(8, 4),
+            rounding: Rounding::Nearest,
+        };
+        let qat = insert_fake_quant(&model, &[spec; 4]);
+        let _ = insert_fake_quant(&qat, &[spec; 4]);
+    }
+
+    #[test]
+    fn qat_json_round_trip_preserves_specs_and_outputs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let model = MlpSpec::paper_demapper_logits().build(&mut rng);
+        let specs = vec![
+            QuantSpec {
+                format: QFormat::signed(8, 5),
+                rounding: Rounding::Nearest,
+            },
+            QuantSpec {
+                format: QFormat::signed(6, 3),
+                rounding: Rounding::Truncate,
+            },
+            QuantSpec {
+                format: QFormat::unsigned(6, 6),
+                rounding: Rounding::NearestEven,
+            },
+            QuantSpec {
+                format: QFormat::signed(12, 6),
+                rounding: Rounding::Nearest,
+            },
+        ];
+        let mut qat = insert_fake_quant(&model, &specs);
+        let json = qat.to_json();
+        let mut restored = Sequential::from_json(&json).unwrap();
+        assert_eq!(crate::model::boundary_specs(&restored), specs);
+        let x = Matrix::from_rows(&[&[0.37f32, -0.92], &[1.4, 0.05]]);
+        let a = qat.forward(&x);
+        let b = restored.forward(&x);
+        assert_eq!(a, b);
     }
 
     #[test]

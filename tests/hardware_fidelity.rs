@@ -56,11 +56,14 @@ fn quantised_inference_agrees_with_float_decisions() {
         let hw = design.process_iq(y);
         pipe.ann_demapper().llrs(y, &mut llr);
         for k in 0..4 {
-            // Hard decisions: hw probability > 0.5 ⇔ float LLR < 0.
-            let hw_bit = hw[k] > 0.5;
+            // The pipeline demapper is a logits head, so the deployed
+            // graph emits signed quantised logits (DESIGN.md §9).
+            // Hard decisions: hw logit > 0 ⇔ float LLR < 0.
+            let hw_bit = hw[k] > 0.0;
             let f_bit = llr[k] < 0.0;
-            // Skip marginal samples where 8-bit quantisation may flip.
-            if (hw[k] - 0.5).abs() > 0.05 {
+            // Skip marginal samples where 8-bit quantisation may flip
+            // (±0.25 in logit units ≈ the old ±0.05 probability band).
+            if hw[k].abs() > 0.25 {
                 total += 1;
                 agree += usize::from(hw_bit == f_bit);
             }
