@@ -12,6 +12,7 @@
 //! | `table1_adaptation` | Table 1 — phase-offset adaptation BERs |
 //! | `table2_hardware` | Table 2 — FPGA implementation comparison |
 //! | `campaign` | Fig. 2 as a campaign: waterfall sweep, all receivers × impairments, early stopping |
+//! | `drift_runtime` | (ext.) §II-C online: time-varying links through the trigger→retrain→redeploy loop |
 //! | `ablation_dop` | (ext.) MVAU folding: DSP ↔ latency ↔ power |
 //! | `ablation_quant` | (ext.) bit-width vs BER |
 //! | `ablation_grid` | (ext.) extraction-grid resolution |

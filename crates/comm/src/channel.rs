@@ -129,6 +129,14 @@ impl Cfo {
     pub fn new(delta: f32) -> Self {
         Self { delta, phase: 0.0 }
     }
+
+    /// Phase accumulated so far (radians, wrapped to ±π). The
+    /// trajectory runtime folds this into a static [`PhaseOffset`]
+    /// when a scripted segment changes the CFO rate, so the rotation
+    /// stays continuous across the re-lowering.
+    pub fn phase(&self) -> f32 {
+        self.phase
+    }
 }
 
 impl Channel for Cfo {

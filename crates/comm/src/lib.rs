@@ -24,7 +24,11 @@
 //!   ([`linksim::LinkSim`]);
 //! - [`campaign`] — deterministic SNR-sweep campaigns over a demapper
 //!   family × channel scenario × SNR matrix with statistical early
-//!   stopping and JSON waterfall artefacts (DESIGN.md §8).
+//!   stopping and JSON waterfall artefacts (DESIGN.md §8);
+//! - [`trajectory`] — scripted time-varying channels: a piecewise
+//!   scenario DSL over frame time whose playback
+//!   ([`trajectory::TrajectoryChannel`]) lowers each frame's state to
+//!   the static [`channel`] stages (DESIGN.md §10).
 //!
 //! ## LLR sign convention
 //!
@@ -45,6 +49,7 @@ pub mod linksim;
 pub mod metrics;
 pub mod snr;
 pub mod theory;
+pub mod trajectory;
 
 pub use campaign::{
     run_campaign, CampaignPoint, CampaignReport, CampaignSpec, ChannelScenario, DemapperFamily,
@@ -54,3 +59,4 @@ pub use channel::{Awgn, Channel, ChannelChain, PhaseOffset};
 pub use constellation::Constellation;
 pub use demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
 pub use linksim::{simulate_link, LinkResult, LinkSim, LinkSpec};
+pub use trajectory::{ChannelState, Trajectory, TrajectoryChannel};

@@ -1,0 +1,182 @@
+//! Golden reduction: a **constant** trajectory is the static channel
+//! (DESIGN.md §10).
+//!
+//! `TrajectoryChannel` lowers each frame's parameter state to the
+//! existing static stages and omits identity-valued stages entirely,
+//! so holding one state forever must reproduce today's channels
+//! **bit-for-bit**: the received streams are compared `to_bits()`
+//! symbol by symbol under both per-symbol and block transmission, and
+//! the Monte-Carlo BER engine must count exactly the same errors
+//! through either channel (per-symbol and block demap paths share the
+//! engine — DESIGN.md §7).
+
+use hybridem_comm::channel::{Awgn, Cfo, Channel, ChannelChain, IqImbalance, PhaseOffset};
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::MaxLogMap;
+use hybridem_comm::linksim::{simulate_link, LinkSpec};
+use hybridem_comm::snr::noise_sigma;
+use hybridem_comm::trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::rng::Xoshiro256pp;
+
+const FRAME: usize = 64;
+
+/// Transmits `total` unit symbols through both channels with identical
+/// RNG streams and the given chunking, asserting bit-identical output.
+fn assert_streams_identical(
+    label: &str,
+    mut scripted: TrajectoryChannel,
+    static_channel: &mut dyn Channel,
+    chunk: usize,
+    total: usize,
+) {
+    let mut ra = Xoshiro256pp::seed_from_u64(0xFEED);
+    let mut rb = Xoshiro256pp::seed_from_u64(0xFEED);
+    let mut sent = 0usize;
+    while sent < total {
+        let n = chunk.min(total - sent);
+        let mut a = vec![C32::new(0.6, -0.8); n];
+        let mut b = a.clone();
+        scripted.transmit(&mut a, &mut ra);
+        static_channel.transmit(&mut b, &mut rb);
+        for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.re.to_bits(),
+                y.re.to_bits(),
+                "{label}: chunk {chunk}, symbol {} re",
+                sent + k
+            );
+            assert_eq!(
+                x.im.to_bits(),
+                y.im.to_bits(),
+                "{label}: chunk {chunk}, symbol {} im",
+                sent + k
+            );
+        }
+        sent += n;
+    }
+}
+
+/// Reduction cases: (label, constant state, equivalent static channel).
+fn cases() -> Vec<(&'static str, ChannelState, Box<dyn Channel>)> {
+    let es = 9.0f64;
+    vec![
+        (
+            "awgn",
+            ChannelState::clean(es),
+            Box::new(Awgn::from_es_n0_db(es)),
+        ),
+        (
+            "phase+awgn",
+            ChannelState::clean(es).with_phase(std::f32::consts::FRAC_PI_4),
+            Box::new(ChannelChain::phase_then_awgn(
+                std::f32::consts::FRAC_PI_4,
+                es,
+            )),
+        ),
+        (
+            "cfo+awgn",
+            ChannelState::clean(es).with_cfo(3e-4),
+            Box::new(ChannelChain::new(vec![
+                Box::new(Cfo::new(3e-4)),
+                Box::new(Awgn::from_es_n0_db(es)),
+            ])),
+        ),
+        (
+            "iq+awgn",
+            ChannelState::clean(es).with_iq(0.05, 0.05),
+            Box::new(ChannelChain::new(vec![
+                Box::new(IqImbalance::new(0.05, 0.05)),
+                Box::new(Awgn::from_es_n0_db(es)),
+            ])),
+        ),
+        (
+            "phase-noiseless",
+            ChannelState::clean(f64::INFINITY).with_phase(0.3),
+            Box::new(PhaseOffset::new(0.3)),
+        ),
+    ]
+}
+
+#[test]
+fn constant_trajectory_streams_are_byte_identical_per_symbol() {
+    for (label, state, mut static_channel) in cases() {
+        let scripted = TrajectoryChannel::new(Trajectory::constant(label, state, 8), FRAME);
+        // Symbol-at-a-time: every transmit call is one symbol, frame
+        // boundaries crossed 7 times (CFO state must persist).
+        assert_streams_identical(label, scripted, static_channel.as_mut(), 1, 8 * FRAME);
+    }
+}
+
+#[test]
+fn constant_trajectory_streams_are_byte_identical_in_blocks() {
+    for (label, state, mut static_channel) in cases() {
+        // Block length 100 is deliberately no divisor of the frame
+        // length: every block straddles a frame boundary and gets
+        // split internally.
+        let scripted = TrajectoryChannel::new(Trajectory::constant(label, state, 8), FRAME);
+        assert_streams_identical(label, scripted, static_channel.as_mut(), 100, 8 * FRAME);
+    }
+}
+
+#[test]
+fn constant_trajectory_ber_equals_static_channel_ber() {
+    // The whole Monte-Carlo engine (block demap path, task-split RNG
+    // streams, channel clone+reset per task) must see no difference.
+    let es = 9.0;
+    let qam = Constellation::qam_gray(16);
+    let sigma = noise_sigma(es, 1.0) as f32;
+    let demapper = MaxLogMap::new(qam.clone(), sigma);
+    for (label, state, static_channel) in cases() {
+        let scripted = TrajectoryChannel::new(Trajectory::constant(label, state, 1_000_000), FRAME);
+        let spec_s = LinkSpec::new(&qam, &scripted, &demapper, 60_000, 77);
+        let spec_c = LinkSpec::new(&qam, static_channel.as_ref(), &demapper, 60_000, 77);
+        let rs = simulate_link(&spec_s);
+        let rc = simulate_link(&spec_c);
+        assert_eq!(
+            rs.bit_errors.errors(),
+            rc.bit_errors.errors(),
+            "{label}: bit errors diverge"
+        );
+        assert_eq!(
+            rs.symbol_errors.errors(),
+            rc.symbol_errors.errors(),
+            "{label}: symbol errors diverge"
+        );
+        assert_eq!(
+            rs.mi.mi().to_bits(),
+            rc.mi.mi().to_bits(),
+            "{label}: MI diverges"
+        );
+    }
+}
+
+#[test]
+fn per_symbol_demap_of_scripted_stream_matches_block_demap() {
+    // Per-symbol and block demapping of the *same* scripted stream are
+    // bit-exact (the frame stream reduction holds on both paths).
+    use hybridem_comm::demapper::Demapper;
+    let es = 9.0;
+    let qam = Constellation::qam_gray(16);
+    let demapper = MaxLogMap::new(qam.clone(), noise_sigma(es, 1.0) as f32);
+    let mut scripted = TrajectoryChannel::new(
+        Trajectory::constant("awgn", ChannelState::clean(es).with_phase(0.2), 16),
+        FRAME,
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let mut block = vec![C32::new(0.35, 0.95); 4 * FRAME];
+    scripted.transmit(&mut block, &mut rng);
+    let mut block_llrs = vec![0f32; block.len() * 4];
+    demapper.demap_block(&block, &mut block_llrs);
+    let mut single = [0f32; 4];
+    for (i, &y) in block.iter().enumerate() {
+        demapper.llrs(y, &mut single);
+        for k in 0..4 {
+            assert_eq!(
+                single[k].to_bits(),
+                block_llrs[i * 4 + k].to_bits(),
+                "symbol {i} bit {k}"
+            );
+        }
+    }
+}

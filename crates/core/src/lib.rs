@@ -22,8 +22,11 @@
 //! [`pipeline::HybridPipeline`] ties the phases together;
 //! [`eval`] regenerates the paper's BER comparisons; [`qat`]
 //! quantisation-aware-fine-tunes the demapper for fixed-point
-//! deployment through the shared integer IR (DESIGN.md §9); [`viz`]
-//! renders decision regions (Fig. 3) as ASCII/PGM.
+//! deployment through the shared integer IR (DESIGN.md §9);
+//! [`runtime`] streams frames through scripted time-varying channels
+//! and exercises the full trigger→retrain→redeploy loop online
+//! (DESIGN.md §10); [`viz`] renders decision regions (Fig. 3) as
+//! ASCII/PGM.
 
 #![warn(missing_docs)]
 
@@ -39,6 +42,7 @@ pub mod pilot_centroids;
 pub mod pipeline;
 pub mod qat;
 pub mod retrain;
+pub mod runtime;
 pub mod viz;
 
 pub use config::SystemConfig;

@@ -105,53 +105,14 @@ pub fn qat_finetune(
     }
     let m = constellation.bits_per_symbol();
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
-
-    // 1. Calibration batch: noisy symbols at the operating point.
-    let n_cal = cfg.calibration.max(64);
-    let mut cal = Matrix::zeros(n_cal, 2);
-    for r in 0..n_cal {
-        let p = constellation.point(r % constellation.size());
-        cal[(r, 0)] = p.re + sigma * rng.normal_f32();
-        cal[(r, 1)] = p.im + sigma * rng.normal_f32();
-    }
-
-    // 2. Boundary fit: input at the ADC width, each dense layer's
-    // pre-activation range at the sweep width, output at the LLR-bus
-    // width (see QatConfig::bits).
-    let io_bits = cfg.bits.max(6);
-    let mut boundaries = vec![QuantSpec::fit_to_data(
-        io_bits,
-        cal.as_slice(),
-        Rounding::Nearest,
-    )];
-    // Each boundary sits *after* a dense layer's activation (the same
-    // placement `insert_fake_quant` uses — keep the peeked activation
-    // set here in lock-step with that function), so the range is
-    // measured on the post-activation tensor the cast will actually
-    // see. The layer-vocabulary assert above keeps the two walks
-    // trivially aligned.
-    let mut x = cal;
-    let mut dense_seen = 0usize;
-    let dense_count = base.layers().iter().filter(|l| l.name() == "dense").count();
-    let mut iter = base.layers().iter().peekable();
-    while let Some(layer) = iter.next() {
-        let is_dense = layer.name() == "dense";
-        x = layer.infer(&x);
-        if is_dense {
-            if let Some(next) = iter.peek() {
-                if matches!(next.name(), "relu" | "sigmoid") {
-                    x = iter.next().unwrap().infer(&x);
-                }
-            }
-            dense_seen += 1;
-            let width = if dense_seen == dense_count {
-                io_bits
-            } else {
-                cfg.bits
-            };
-            boundaries.push(QuantSpec::fit(width, x.max_abs() as f64, Rounding::Nearest));
-        }
-    }
+    let boundaries = calibrate_boundaries(
+        constellation,
+        base,
+        sigma,
+        cfg.bits,
+        cfg.calibration,
+        cfg.seed,
+    );
 
     // 3. Straight-through fine-tuning, mapper frozen.
     let mut model = insert_fake_quant(base, &boundaries);
@@ -187,6 +148,88 @@ pub fn qat_finetune(
         initial_loss,
         final_loss,
     }
+}
+
+/// Fits one fixed-point format per tensor boundary of `model` by
+/// driving `samples` noisy pilot symbols (drawn from `constellation`
+/// at noise level `sigma`) through it: input at the ADC width, each
+/// hidden activation at `bits`, output at the LLR-bus width
+/// (`bits.max(6)` for both I/O converters, matching
+/// [`QatConfig::bits`]). This is the calibration half of
+/// [`qat_finetune`], exposed on its own because the online runtime
+/// ([`crate::runtime`]) recompiles its integer deployment from freshly
+/// retrained weights mid-stream, where a full fine-tuning pass would
+/// blow the retrain-latency budget.
+///
+/// Each boundary sits *after* a dense layer's activation (the same
+/// placement `insert_fake_quant` uses — keep the peeked activation
+/// set here in lock-step with that function), so the range is
+/// measured on the post-activation tensor the cast will actually see.
+///
+/// # Panics
+/// Panics if `model` contains layers outside the integer IR's
+/// dense/relu/sigmoid vocabulary.
+pub fn calibrate_boundaries(
+    constellation: &Constellation,
+    model: &Sequential,
+    sigma: f32,
+    bits: u32,
+    samples: usize,
+    seed: u64,
+) -> Vec<QuantSpec> {
+    for layer in model.layers() {
+        assert!(
+            matches!(layer.name(), "dense" | "relu" | "sigmoid"),
+            "calibration targets the quantized graph, which supports \
+             dense/relu/sigmoid only — found `{}`",
+            layer.name()
+        );
+    }
+    // Calibration batch: noisy symbols at the operating point, on a
+    // dedicated RNG stream so callers sharing `seed` with a training
+    // loop do not correlate with these draws.
+    let mut rng = Xoshiro256pp::stream(seed, 40);
+    let n_cal = samples.max(64);
+    let mut cal = Matrix::zeros(n_cal, 2);
+    for r in 0..n_cal {
+        let p = constellation.point(r % constellation.size());
+        cal[(r, 0)] = p.re + sigma * rng.normal_f32();
+        cal[(r, 1)] = p.im + sigma * rng.normal_f32();
+    }
+
+    let io_bits = bits.max(6);
+    let mut boundaries = vec![QuantSpec::fit_to_data(
+        io_bits,
+        cal.as_slice(),
+        Rounding::Nearest,
+    )];
+    let mut x = cal;
+    let mut dense_seen = 0usize;
+    let dense_count = model
+        .layers()
+        .iter()
+        .filter(|l| l.name() == "dense")
+        .count();
+    let mut iter = model.layers().iter().peekable();
+    while let Some(layer) = iter.next() {
+        let is_dense = layer.name() == "dense";
+        x = layer.infer(&x);
+        if is_dense {
+            if let Some(next) = iter.peek() {
+                if matches!(next.name(), "relu" | "sigmoid") {
+                    x = iter.next().unwrap().infer(&x);
+                }
+            }
+            dense_seen += 1;
+            let width = if dense_seen == dense_count {
+                io_bits
+            } else {
+                bits
+            };
+            boundaries.push(QuantSpec::fit(width, x.max_abs() as f64, Rounding::Nearest));
+        }
+    }
+    boundaries
 }
 
 /// End-to-end convenience: QAT-fine-tunes the pipeline's trained

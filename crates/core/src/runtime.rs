@@ -1,0 +1,1472 @@
+//! Online time-varying link runtime: the trigger→retrain→redeploy
+//! loop the paper's adaptation story is actually about (DESIGN.md §10).
+//!
+//! [`OnlineLink`] streams frames through a scripted
+//! [`TrajectoryChannel`]: each frame transmits known pilots plus
+//! payload, demaps the whole frame in one block call, feeds the pilot
+//! (or ECC) evidence to the [`AdaptationController`], and — for the
+//! adaptive receiver — reacts to [`Recommendation::Retrain`] by
+//! retraining the demapper ANN against a frozen snapshot of the
+//! current channel, re-extracting centroids, and **swapping** both the
+//! software [`HybridDemapper`] and the recompiled integer
+//! [`QuantizedGraph`] deployment back into the datapath after a
+//! retrain latency charged against the FPGA trainer cost model.
+//!
+//! [`run_drift_campaign`] shards many independent links (one
+//! [`hybridem_parallel::shard::ShardRunner`] shard per link, per-link
+//! RNG stream and state) over the paper's receiver line-up × a drift
+//! scenario suite, pooling per-frame error counts in link order so the
+//! [`DriftRuntimeReport`] artefact is a pure function of
+//! `(spec, seed)` — byte-identical at any thread count.
+
+use crate::adapt::{AdaptThresholds, AdaptationController, Recommendation};
+use crate::config::SystemConfig;
+use crate::demapper_ann::NeuralDemapper;
+use crate::extraction::{extract, ExtractionConfig};
+use crate::hybrid::HybridDemapper;
+use crate::pipeline::HybridPipeline;
+use crate::retrain::Retrainer;
+use hybridem_comm::channel::Channel;
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::{Demapper, MaxLogMap};
+use hybridem_comm::ecc::{ConvCode, Viterbi};
+use hybridem_comm::metrics::BitwiseMiEstimator;
+use hybridem_comm::trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+use hybridem_fpga::graph::QuantizedGraph;
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::json::{FromJson, Json, JsonError};
+use hybridem_mathkit::rng::{Rng64, SplitMix64, Xoshiro256pp};
+use hybridem_nn::Sequential;
+use hybridem_parallel::shard::ShardRunner;
+
+/// Which degradation evidence feeds the controller (paper §II-C
+/// proposes both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Monitor {
+    /// Pilot-BER monitoring: the known pilot prefix of every frame is
+    /// compared against its hard decisions.
+    Pilot,
+    /// ECC monitoring: the payload carries a rate-1/2 convolutional
+    /// codeword and the Viterbi decoder's corrected-flip count is the
+    /// quality metric (no pilot overhead needed for detection).
+    Ecc,
+}
+
+/// What the adaptive receiver does when the controller fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerAction {
+    /// Full loop: retrain, re-extract, recompile, swap after the
+    /// modelled retrain latency.
+    RetrainSwap,
+    /// Record the trigger and reset the monitor — used by the
+    /// detection-latency ablation, which measures *when* the trigger
+    /// fires, not what retraining buys.
+    LogOnly,
+}
+
+/// Everything about an online link except the scenario and the seed
+/// (shared across a drift campaign's links and families).
+#[derive(Clone, Debug)]
+pub struct LinkParams {
+    /// Symbols per frame (pilots + payload).
+    pub frame_symbols: usize,
+    /// Known pilot symbols at the start of every frame.
+    pub pilot_symbols: usize,
+    /// Evidence stream for the controller.
+    pub monitor: Monitor,
+    /// Reaction to a trigger.
+    pub action: TriggerAction,
+    /// Controller thresholds.
+    pub thresholds: AdaptThresholds,
+    /// Symbol rate in symbols/s — converts the FPGA trainer's
+    /// simulated retrain time into frames of latency.
+    pub symbol_rate: f64,
+    /// Width of the recompiled integer deployment (the paper's 8-bit
+    /// datapath).
+    pub deploy_bits: u32,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self {
+            frame_symbols: 256,
+            pilot_symbols: 64,
+            monitor: Monitor::Pilot,
+            action: TriggerAction::RetrainSwap,
+            // The paper-default thresholds: high enough that a
+            // reduced-budget AE's clean-channel BER (≈ 3 % under
+            // HYBRIDEM_QUICK) never trips the monitor spuriously — a
+            // spurious clean-channel retrain would eat the latency
+            // budget right before a scripted drift lands.
+            thresholds: AdaptThresholds::default(),
+            symbol_rate: 1e6,
+            deploy_bits: 8,
+        }
+    }
+}
+
+/// One online link: scenario, seed, and the shared parameters.
+#[derive(Clone, Debug)]
+pub struct OnlineLinkSpec {
+    /// The scripted channel scenario.
+    pub trajectory: Trajectory,
+    /// Link seed (payload/pilot stream, retrain pilots, calibration).
+    pub seed: u64,
+    /// Shared link parameters.
+    pub params: LinkParams,
+}
+
+impl OnlineLinkSpec {
+    /// Spec with default parameters.
+    pub fn new(trajectory: Trajectory, seed: u64) -> Self {
+        Self {
+            trajectory,
+            seed,
+            params: LinkParams::default(),
+        }
+    }
+}
+
+/// Per-frame log entry.
+#[derive(Clone, Debug)]
+pub struct FrameRecord {
+    /// Frame index.
+    pub frame: u64,
+    /// Payload bits transmitted this frame.
+    pub payload_bits: u64,
+    /// Payload bit errors (raw demapped decisions, before any ECC).
+    pub payload_bit_errors: u64,
+    /// Pilot bits transmitted this frame.
+    pub pilot_bits: u64,
+    /// Pilot bit errors.
+    pub pilot_bit_errors: u64,
+    /// Bitwise mutual information over this frame's payload LLRs.
+    pub mi: f64,
+    /// The controller fired this frame.
+    pub triggered: bool,
+    /// A retrained demapper was swapped in at the start of this frame.
+    pub swapped: bool,
+}
+
+impl FrameRecord {
+    /// Payload BER (0 when the frame carried no payload — never NaN).
+    pub fn ber(&self) -> f64 {
+        if self.payload_bits == 0 {
+            0.0
+        } else {
+            self.payload_bit_errors as f64 / self.payload_bits as f64
+        }
+    }
+
+    /// Pilot BER (same zero-observation contract).
+    pub fn pilot_ber(&self) -> f64 {
+        if self.pilot_bits == 0 {
+            0.0
+        } else {
+            self.pilot_bit_errors as f64 / self.pilot_bits as f64
+        }
+    }
+}
+
+/// One completed trigger→swap cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetrainEvent {
+    /// Frame at which the controller fired.
+    pub trigger_frame: u64,
+    /// Frame at which the retrained demapper entered the datapath
+    /// (equals `trigger_frame` for [`TriggerAction::LogOnly`]).
+    pub swap_frame: u64,
+    /// `swap_frame − trigger_frame`.
+    pub latency_frames: u64,
+    /// Simulated on-chip retraining time (s) from the FPGA trainer
+    /// cost model (0 for `LogOnly`).
+    pub sim_time_s: f64,
+}
+
+struct Pending {
+    trigger_frame: u64,
+    swap_frame: u64,
+    hybrid: HybridDemapper,
+    deployment: QuantizedGraph,
+    sim_time_s: f64,
+}
+
+struct Adaptive {
+    cfg: SystemConfig,
+    ann: NeuralDemapper,
+    hybrid: HybridDemapper,
+    deployment: QuantizedGraph,
+    controller: AdaptationController,
+    pending: Option<Pending>,
+    events: Vec<RetrainEvent>,
+}
+
+/// Compiles the current float demapper to the shared integer IR with
+/// freshly calibrated tensor-boundary formats — the runtime's
+/// mid-stream deployment path (full QAT fine-tuning would blow the
+/// retrain-latency budget; see [`crate::qat::calibrate_boundaries`]).
+fn compile_deployment(
+    constellation: &Constellation,
+    model: &Sequential,
+    sigma: f32,
+    bits: u32,
+    seed: u64,
+) -> QuantizedGraph {
+    let boundaries =
+        crate::qat::calibrate_boundaries(constellation, model, sigma, bits, 1024, seed);
+    hybridem_fpga::graph::compile(model, &boundaries)
+}
+
+impl Adaptive {
+    fn maybe_swap(&mut self, frame: u64) -> bool {
+        if self.pending.as_ref().is_none_or(|p| frame < p.swap_frame) {
+            return false;
+        }
+        let pnd = self.pending.take().unwrap();
+        self.hybrid = pnd.hybrid;
+        self.deployment = pnd.deployment;
+        self.controller.reset_after_retrain();
+        self.events.push(RetrainEvent {
+            trigger_frame: pnd.trigger_frame,
+            swap_frame: frame,
+            latency_frames: frame - pnd.trigger_frame,
+            sim_time_s: pnd.sim_time_s,
+        });
+        true
+    }
+
+    fn on_trigger(
+        &mut self,
+        frame: u64,
+        constellation: &Constellation,
+        channel: &TrajectoryChannel,
+        params: &LinkParams,
+    ) {
+        match params.action {
+            TriggerAction::LogOnly => {
+                self.events.push(RetrainEvent {
+                    trigger_frame: frame,
+                    swap_frame: frame,
+                    latency_frames: 0,
+                    sim_time_s: 0.0,
+                });
+                self.controller.reset_after_retrain();
+            }
+            TriggerAction::RetrainSwap => {
+                // Retrain against a *frozen* snapshot of the current
+                // conditions (CFO rate folded to its accumulated
+                // rotation): pilots collected at trigger time, not a
+                // moving target.
+                let mut snapshot: Box<dyn Channel> = Box::new(channel.snapshot_static());
+                let mut rcfg = self.cfg.clone();
+                rcfg.seed = SplitMix64::derive(self.cfg.seed, 0x5e7 + self.events.len() as u64);
+                let mut rt = Retrainer::new(&rcfg).with_hardware_accounting();
+                let report = rt.run(constellation, snapshot.as_mut(), &mut self.ann);
+                let ecfg = ExtractionConfig::new(self.cfg.grid_n, self.cfg.window_scale);
+                let ereport = extract(&self.ann, &ecfg, constellation);
+                let hybrid = HybridDemapper::from_extraction(&ereport, self.cfg.sigma());
+                let deployment = compile_deployment(
+                    constellation,
+                    self.ann.model(),
+                    self.cfg.sigma(),
+                    params.deploy_bits,
+                    rcfg.seed,
+                );
+                let sim_time = report.sim_time_s.expect("hardware accounting enabled");
+                let latency = ((sim_time * params.symbol_rate / channel.frame_symbols() as f64)
+                    .ceil() as u64)
+                    .max(1);
+                self.pending = Some(Pending {
+                    trigger_frame: frame,
+                    swap_frame: frame + latency,
+                    hybrid,
+                    deployment,
+                    sim_time_s: sim_time,
+                });
+            }
+        }
+    }
+}
+
+enum Receiver {
+    Fixed(Box<dyn Demapper>),
+    Adaptive(Box<Adaptive>),
+}
+
+/// One link streaming frames through a scripted time-varying channel.
+pub struct OnlineLink {
+    spec: OnlineLinkSpec,
+    constellation: Constellation,
+    channel: TrajectoryChannel,
+    receiver: Receiver,
+    rng: Xoshiro256pp,
+    code: ConvCode,
+    viterbi: Viterbi,
+    frame: u64,
+    log: Vec<FrameRecord>,
+    // Per-frame scratch, reused so streaming allocates nothing after
+    // the first frame (matches the linksim discipline, DESIGN.md §7).
+    tx_syms: Vec<usize>,
+    block: Vec<C32>,
+    llrs: Vec<f32>,
+    tx_bits: Vec<u8>,
+    rx_bits: Vec<u8>,
+    info: Vec<u8>,
+}
+
+impl OnlineLink {
+    fn build(spec: OnlineLinkSpec, constellation: Constellation, receiver: Receiver) -> Self {
+        let p = &spec.params;
+        assert!(p.frame_symbols > 0, "frame length must be positive");
+        assert!(
+            p.pilot_symbols <= p.frame_symbols,
+            "pilots cannot exceed the frame"
+        );
+        let m = constellation.bits_per_symbol();
+        assert!(m <= 16, "bits per symbol > 16 unsupported");
+        let demapper_m = match &receiver {
+            Receiver::Fixed(d) => d.bits_per_symbol(),
+            Receiver::Adaptive(a) => a.hybrid.bits_per_symbol(),
+        };
+        assert_eq!(
+            m, demapper_m,
+            "constellation and demapper disagree on bits/symbol"
+        );
+        let payload_bits = (p.frame_symbols - p.pilot_symbols) * m;
+        if p.monitor == Monitor::Ecc {
+            assert!(
+                payload_bits.is_multiple_of(2) && payload_bits / 2 > ConvCode::TAIL,
+                "ECC monitoring needs an even payload capacity above the tail"
+            );
+        }
+        // An adaptive receiver whose controller never sees evidence
+        // can never trigger — reject the silent misconfiguration.
+        if matches!(receiver, Receiver::Adaptive(_)) && p.monitor == Monitor::Pilot {
+            assert!(
+                p.pilot_symbols > 0,
+                "pilot monitoring needs pilot_symbols > 0 (an adaptive \
+                 receiver without evidence can never trigger)"
+            );
+        }
+        let info_len = if p.monitor == Monitor::Ecc {
+            payload_bits / 2 - ConvCode::TAIL
+        } else {
+            0
+        };
+        let n = p.frame_symbols;
+        let rng = Xoshiro256pp::stream(spec.seed, 0);
+        let channel = TrajectoryChannel::new(spec.trajectory.clone(), n);
+        Self {
+            spec,
+            constellation,
+            channel,
+            receiver,
+            rng,
+            code: ConvCode::new(),
+            viterbi: Viterbi::new(),
+            frame: 0,
+            log: Vec::new(),
+            tx_syms: vec![0; n],
+            block: vec![C32::zero(); n],
+            llrs: vec![0.0; n * m],
+            tx_bits: vec![0; n * m],
+            rx_bits: vec![0; n * m],
+            info: vec![0; info_len],
+        }
+    }
+
+    /// A non-adapting receiver (the `static-conventional` and
+    /// `frozen-ann` families): the demapper installed here serves the
+    /// whole stream.
+    ///
+    /// # Panics
+    /// Panics on constellation/demapper width mismatch or invalid
+    /// frame geometry.
+    pub fn fixed(
+        spec: OnlineLinkSpec,
+        constellation: Constellation,
+        demapper: Box<dyn Demapper>,
+    ) -> Self {
+        Self::build(spec, constellation, Receiver::Fixed(demapper))
+    }
+
+    /// The adaptive hybrid receiver, cloned out of a pipeline that has
+    /// already trained and extracted: per-link copies of the demapper
+    /// ANN and centroid demapper, a fresh controller, and an initial
+    /// integer deployment compiled at [`LinkParams::deploy_bits`].
+    /// The retrainer/calibration seeds are re-derived from the link
+    /// seed so shards are independent.
+    ///
+    /// # Panics
+    /// Panics unless [`HybridPipeline::extract_centroids`] ran.
+    pub fn adaptive(spec: OnlineLinkSpec, pipe: &HybridPipeline) -> Self {
+        let hybrid_src = pipe
+            .hybrid_demapper()
+            .expect("adaptive link needs extracted centroids: run extract_centroids() first");
+        let mut cfg = pipe.config().clone();
+        cfg.seed = spec.seed;
+        let constellation = pipe.constellation();
+        let ann = NeuralDemapper::new(Sequential::from_snapshot(
+            pipe.ann_demapper().model().snapshot(),
+        ));
+        let hybrid = HybridDemapper::from_centroids(hybrid_src.centroids().clone(), cfg.sigma());
+        let deployment = compile_deployment(
+            &constellation,
+            ann.model(),
+            cfg.sigma(),
+            spec.params.deploy_bits,
+            spec.seed,
+        );
+        let controller = AdaptationController::new(spec.params.thresholds);
+        let adaptive = Adaptive {
+            cfg,
+            ann,
+            hybrid,
+            deployment,
+            controller,
+            pending: None,
+            events: Vec::new(),
+        };
+        Self::build(spec, constellation, Receiver::Adaptive(Box::new(adaptive)))
+    }
+
+    /// The link spec.
+    pub fn spec(&self) -> &OnlineLinkSpec {
+        &self.spec
+    }
+
+    /// Frames streamed so far.
+    pub fn frames(&self) -> u64 {
+        self.frame
+    }
+
+    /// The per-frame event log.
+    pub fn log(&self) -> &[FrameRecord] {
+        &self.log
+    }
+
+    /// Completed trigger→swap cycles (empty for fixed receivers).
+    pub fn events(&self) -> &[RetrainEvent] {
+        match &self.receiver {
+            Receiver::Fixed(_) => &[],
+            Receiver::Adaptive(a) => &a.events,
+        }
+    }
+
+    /// The live integer deployment (adaptive receivers only).
+    pub fn deployment(&self) -> Option<&QuantizedGraph> {
+        match &self.receiver {
+            Receiver::Fixed(_) => None,
+            Receiver::Adaptive(a) => Some(&a.deployment),
+        }
+    }
+
+    /// The playback channel (frame position, current state).
+    pub fn channel(&self) -> &TrajectoryChannel {
+        &self.channel
+    }
+
+    /// Streams one frame; returns its log entry.
+    pub fn step(&mut self) -> &FrameRecord {
+        let frame = self.frame;
+        let m = self.constellation.bits_per_symbol();
+        let n = self.spec.params.frame_symbols;
+        let p = self.spec.params.pilot_symbols;
+
+        // 0. A matured retrain enters the datapath before the frame.
+        let swapped = match &mut self.receiver {
+            Receiver::Fixed(_) => false,
+            Receiver::Adaptive(a) => a.maybe_swap(frame),
+        };
+
+        // 1. Frame construction: pilot prefix, then payload (uniform
+        // symbols, or a convolutional codeword under ECC monitoring).
+        for s in self.tx_syms.iter_mut().take(p) {
+            *s = (self.rng.next_u64() >> (64 - m)) as usize;
+        }
+        if self.spec.params.monitor == Monitor::Ecc {
+            self.rng.fill_bits(&mut self.info);
+            let coded = self.code.encode(&self.info);
+            for (k, chunk) in coded.chunks(m).enumerate() {
+                self.tx_syms[p + k] = hybridem_comm::bits::pack_bits(chunk);
+            }
+        } else {
+            for s in self.tx_syms.iter_mut().skip(p) {
+                *s = (self.rng.next_u64() >> (64 - m)) as usize;
+            }
+        }
+        for (i, (&u, y)) in self.tx_syms.iter().zip(self.block.iter_mut()).enumerate() {
+            *y = self.constellation.point(u);
+            for k in 0..m {
+                self.tx_bits[i * m + k] = self.constellation.bit(u, k);
+            }
+        }
+        self.channel.transmit(&mut self.block, &mut self.rng);
+
+        // 2. One block demap for the whole frame.
+        let demapper: &dyn Demapper = match &self.receiver {
+            Receiver::Fixed(d) => d.as_ref(),
+            Receiver::Adaptive(a) => &a.hybrid,
+        };
+        demapper.demap_block(&self.block, &mut self.llrs);
+        for (b, &l) in self.rx_bits.iter_mut().zip(self.llrs.iter()) {
+            *b = u8::from(l < 0.0);
+        }
+
+        // 3. Frame statistics.
+        let count = |range: std::ops::Range<usize>| {
+            self.tx_bits[range.clone()]
+                .iter()
+                .zip(&self.rx_bits[range])
+                .filter(|(a, b)| a != b)
+                .count() as u64
+        };
+        let pilot_errors = count(0..p * m);
+        let payload_errors = count(p * m..n * m);
+        let mut mi = BitwiseMiEstimator::new();
+        for (&b, &l) in self.tx_bits[p * m..].iter().zip(&self.llrs[p * m..]) {
+            mi.push(b, l);
+        }
+
+        // 4. Monitor + trigger.
+        let mut triggered = false;
+        if let Receiver::Adaptive(a) = &mut self.receiver {
+            match self.spec.params.monitor {
+                Monitor::Pilot => {
+                    if p > 0 {
+                        a.controller
+                            .observe_pilot_bits(&self.tx_bits[..p * m], &self.rx_bits[..p * m]);
+                    }
+                }
+                Monitor::Ecc => {
+                    let outcome = self
+                        .viterbi
+                        .decode_soft(&self.code, &self.llrs[p * m..n * m]);
+                    a.controller
+                        .observe_ecc(outcome.corrected, (n - p) as u64 * m as u64);
+                }
+            }
+            if a.pending.is_none() && a.controller.recommendation() == Recommendation::Retrain {
+                triggered = true;
+                a.on_trigger(frame, &self.constellation, &self.channel, &self.spec.params);
+            }
+        }
+
+        self.log.push(FrameRecord {
+            frame,
+            payload_bits: ((n - p) * m) as u64,
+            payload_bit_errors: payload_errors,
+            pilot_bits: (p * m) as u64,
+            pilot_bit_errors: pilot_errors,
+            mi: mi.mi(),
+            triggered,
+            swapped,
+        });
+        self.frame += 1;
+        self.log.last().unwrap()
+    }
+
+    /// Streams `frames` further frames (the trajectory holds its final
+    /// state past the script).
+    pub fn run_frames(&mut self, frames: u64) {
+        for _ in 0..frames {
+            self.step();
+        }
+    }
+
+    /// Streams the whole scripted trajectory.
+    pub fn run(&mut self) {
+        while self.frame < self.spec.trajectory.total_frames() {
+            self.step();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drift campaign: families × scenarios × links, pooled per frame.
+// ---------------------------------------------------------------------
+
+/// How a family relates to the drift expectations of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyRole {
+    /// Conventional reference receiver — no recovery claims attached.
+    Baseline,
+    /// Trained but never-retrained receiver — carries the scenario's
+    /// `frozen_recovers` expectation.
+    Frozen,
+    /// The full adapt/retrain loop — carries `adaptive_recovers`.
+    Adaptive,
+}
+
+/// One receiver family of a drift campaign. `build` constructs a fresh
+/// link for `(trajectory, link_seed)`; it runs on the campaign's
+/// shard workers, so captured state is shared read-only.
+pub struct DriftFamily<'a> {
+    /// Family label used in artefacts.
+    pub name: String,
+    /// Which recovery expectation applies.
+    pub role: FamilyRole,
+    /// Link factory.
+    pub build: LinkBuilder<'a>,
+}
+
+/// Builds one link for `(trajectory, link_seed)` (see [`DriftFamily`]).
+pub type LinkBuilder<'a> = Box<dyn Fn(&Trajectory, u64) -> OnlineLink + Sync + 'a>;
+
+/// One drift scenario: the script plus the recovery expectations the
+/// artefact validation enforces.
+#[derive(Clone, Debug)]
+pub struct DriftScenario {
+    /// The scripted channel.
+    pub trajectory: Trajectory,
+    /// Frames of the pre-drift baseline window `[0, baseline_frames)`.
+    pub baseline_frames: u64,
+    /// First frame at which the scripted disturbance is over (the
+    /// recovery clock starts here).
+    pub drift_end_frame: u64,
+    /// Whether the adaptive family must re-converge (`None` ⇒ no
+    /// claim, e.g. fading that retraining cannot track).
+    pub adaptive_recovers: Option<bool>,
+    /// Whether the frozen family recovers on its own (`Some(false)`
+    /// for persistent impairments — the paper's core claim).
+    pub frozen_recovers: Option<bool>,
+}
+
+/// The scripted drift suite of the `drift_runtime` artefact, at a
+/// given nominal Es/N0 (dB): SNR ramp, the paper's π/4 phase step, a
+/// CFO drift pulse (leaving a persistent accumulated rotation), fading
+/// onset, and burst interference.
+pub fn drift_suite(es_n0_db: f64) -> Vec<DriftScenario> {
+    let clean = ChannelState::clean(es_n0_db);
+    let dip = ChannelState::clean(es_n0_db - 6.0);
+    vec![
+        DriftScenario {
+            trajectory: Trajectory::new("snr-ramp")
+                .hold(40, clean)
+                .ramp(30, dip)
+                .hold(30, dip)
+                .ramp(30, clean)
+                .hold(90, clean),
+            baseline_frames: 40,
+            drift_end_frame: 130,
+            adaptive_recovers: Some(true),
+            frozen_recovers: Some(true),
+        },
+        DriftScenario {
+            trajectory: Trajectory::new("phase-step")
+                .hold(40, clean)
+                .hold(160, clean.with_phase(std::f32::consts::FRAC_PI_4)),
+            baseline_frames: 40,
+            drift_end_frame: 40,
+            adaptive_recovers: Some(true),
+            frozen_recovers: Some(false),
+        },
+        DriftScenario {
+            // 4.5e-5 rad/sym × 30 frames × 256 symbols ≈ 0.346 rad of
+            // accumulated rotation that persists after the rate
+            // returns to zero.
+            trajectory: Trajectory::new("cfo-drift")
+                .hold(40, clean)
+                .hold(30, clean.with_cfo(4.5e-5))
+                .hold(170, clean),
+            baseline_frames: 40,
+            drift_end_frame: 70,
+            adaptive_recovers: Some(true),
+            frozen_recovers: Some(false),
+        },
+        DriftScenario {
+            // Per-coherence-block fading is not a constellation shift:
+            // retraining cannot track it, so no recovery claims.
+            trajectory: Trajectory::new("fading-onset")
+                .hold(40, clean)
+                .hold(120, clean.with_fading(64)),
+            baseline_frames: 40,
+            drift_end_frame: 40,
+            adaptive_recovers: None,
+            frozen_recovers: None,
+        },
+        DriftScenario {
+            trajectory: Trajectory::new("burst-interference")
+                .hold(40, clean)
+                .hold(20, clean.with_interference(0.35))
+                .hold(140, clean),
+            baseline_frames: 40,
+            drift_end_frame: 60,
+            adaptive_recovers: Some(true),
+            frozen_recovers: Some(true),
+        },
+    ]
+}
+
+/// The paper's receiver line-up as drift families: conventional Gray
+/// QAM max-log, the frozen trained ANN, and the adaptive hybrid.
+///
+/// # Panics
+/// Panics unless [`HybridPipeline::extract_centroids`] ran.
+pub fn drift_families<'a>(pipe: &'a HybridPipeline, params: &LinkParams) -> Vec<DriftFamily<'a>> {
+    assert!(
+        pipe.hybrid_demapper().is_some(),
+        "drift families need extracted centroids: run extract_centroids() first"
+    );
+    let sigma = pipe.config().sigma();
+    let qam = Constellation::qam_gray(pipe.config().num_symbols());
+    let learned = pipe.constellation();
+    let snap = pipe.ann_demapper().model().snapshot();
+    let spec = {
+        let params = params.clone();
+        move |traj: &Trajectory, seed: u64| OnlineLinkSpec {
+            trajectory: traj.clone(),
+            seed,
+            params: params.clone(),
+        }
+    };
+    let conv_spec = spec.clone();
+    let frozen_spec = spec.clone();
+    let conv_tx = qam.clone();
+    vec![
+        DriftFamily {
+            name: "static-conventional".to_string(),
+            role: FamilyRole::Baseline,
+            build: Box::new(move |traj, seed| {
+                OnlineLink::fixed(
+                    conv_spec(traj, seed),
+                    conv_tx.clone(),
+                    Box::new(MaxLogMap::new(qam.clone(), sigma)),
+                )
+            }),
+        },
+        DriftFamily {
+            name: "frozen-ann".to_string(),
+            role: FamilyRole::Frozen,
+            build: Box::new(move |traj, seed| {
+                OnlineLink::fixed(
+                    frozen_spec(traj, seed),
+                    learned.clone(),
+                    Box::new(NeuralDemapper::new(Sequential::from_snapshot(snap.clone()))),
+                )
+            }),
+        },
+        DriftFamily {
+            name: "adaptive-hybrid".to_string(),
+            role: FamilyRole::Adaptive,
+            build: Box::new(move |traj, seed| OnlineLink::adaptive(spec(traj, seed), pipe)),
+        },
+    ]
+}
+
+/// A full drift campaign: families × scenarios × independent links.
+pub struct DriftCampaignSpec<'a> {
+    /// Campaign label recorded in the artefact.
+    pub name: String,
+    /// Receiver families (matrix rows).
+    pub families: Vec<DriftFamily<'a>>,
+    /// Drift scenarios (matrix columns).
+    pub scenarios: Vec<DriftScenario>,
+    /// Independent links per (family, scenario) cell.
+    pub links: u32,
+    /// Shared link parameters (recorded in the artefact; the families
+    /// built by [`drift_families`] use the same set).
+    pub params: LinkParams,
+    /// Base seed; per-link seeds are derived deterministically.
+    pub seed: u64,
+}
+
+/// One retrain event of one link, as serialised in the artefact.
+#[derive(Clone, Debug)]
+pub struct RetrainEventRecord {
+    /// Link index within the cell.
+    pub link: u32,
+    /// Frame at which the controller fired.
+    pub trigger_frame: u64,
+    /// Frame at which the retrained demapper entered the datapath.
+    pub swap_frame: u64,
+    /// Modelled retrain latency in frames.
+    pub latency_frames: u64,
+}
+
+hybridem_mathkit::impl_to_json!(RetrainEventRecord {
+    link,
+    trigger_frame,
+    swap_frame,
+    latency_frames,
+});
+
+impl FromJson for RetrainEventRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            link: u32::from_json(v.field("link")?)?,
+            trigger_frame: u64::from_json(v.field("trigger_frame")?)?,
+            swap_frame: u64::from_json(v.field("swap_frame")?)?,
+            latency_frames: u64::from_json(v.field("latency_frames")?)?,
+        })
+    }
+}
+
+/// One (family, scenario) cell: per-frame statistics pooled across the
+/// cell's links in link order.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Family label.
+    pub family: String,
+    /// Family role (`"baseline"`, `"frozen"`, `"adaptive"`).
+    pub role: String,
+    /// Scenario label.
+    pub trajectory: String,
+    /// Scripted frames.
+    pub frames: u64,
+    /// Links pooled into this row.
+    pub links: u32,
+    /// Pre-drift baseline window length in frames.
+    pub baseline_frames: u64,
+    /// First post-disturbance frame.
+    pub drift_end_frame: u64,
+    /// The recovery expectation this row is validated against.
+    pub expect_recovery: Option<bool>,
+    /// Whether validation additionally requires ≥ 1 retrain event.
+    pub expect_retrain: bool,
+    /// Payload bits per frame, pooled across links.
+    pub payload_bits_per_frame: u64,
+    /// Pooled payload bit errors per frame.
+    pub bit_errors: Vec<u64>,
+    /// Pooled payload BER per frame (`bit_errors / payload bits`).
+    pub ber: Vec<f64>,
+    /// Pooled pilot BER per frame.
+    pub pilot_ber: Vec<f64>,
+    /// Mean bitwise MI per frame across links (link-order mean).
+    pub mi: Vec<f64>,
+    /// Every link's trigger→swap cycles.
+    pub retrain_events: Vec<RetrainEventRecord>,
+    /// Total retrains across the cell's links.
+    pub retrains: u64,
+}
+
+hybridem_mathkit::impl_to_json!(DriftRow {
+    family,
+    role,
+    trajectory,
+    frames,
+    links,
+    baseline_frames,
+    drift_end_frame,
+    expect_recovery,
+    expect_retrain,
+    payload_bits_per_frame,
+    bit_errors,
+    ber,
+    pilot_ber,
+    mi,
+    retrain_events,
+    retrains,
+});
+
+impl FromJson for DriftRow {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            family: String::from_json(v.field("family")?)?,
+            role: String::from_json(v.field("role")?)?,
+            trajectory: String::from_json(v.field("trajectory")?)?,
+            frames: u64::from_json(v.field("frames")?)?,
+            links: u32::from_json(v.field("links")?)?,
+            baseline_frames: u64::from_json(v.field("baseline_frames")?)?,
+            drift_end_frame: u64::from_json(v.field("drift_end_frame")?)?,
+            expect_recovery: Option::<bool>::from_json(v.field("expect_recovery")?)?,
+            expect_retrain: bool::from_json(v.field("expect_retrain")?)?,
+            payload_bits_per_frame: u64::from_json(v.field("payload_bits_per_frame")?)?,
+            bit_errors: Vec::<u64>::from_json(v.field("bit_errors")?)?,
+            ber: Vec::<f64>::from_json(v.field("ber")?)?,
+            pilot_ber: Vec::<f64>::from_json(v.field("pilot_ber")?)?,
+            mi: Vec::<f64>::from_json(v.field("mi")?)?,
+            retrain_events: Vec::<RetrainEventRecord>::from_json(v.field("retrain_events")?)?,
+            retrains: u64::from_json(v.field("retrains")?)?,
+        })
+    }
+}
+
+impl DriftRow {
+    /// Pooled payload BER over the frame window `[from, to)`.
+    pub fn window_ber(&self, from: u64, to: u64) -> f64 {
+        assert!(from <= to && to <= self.frames, "window out of range");
+        let errors: u64 = self.bit_errors[from as usize..to as usize].iter().sum();
+        let bits = self.payload_bits_per_frame * (to - from);
+        if bits == 0 {
+            0.0
+        } else {
+            errors as f64 / bits as f64
+        }
+    }
+}
+
+/// Post-drift steady-state window (frames) used by the recovery
+/// validation: the claim is judged on the *last* `RECOVERY_WINDOW`
+/// frames of the row, i.e. recovery must complete within
+/// `frames − drift_end_frame − RECOVERY_WINDOW` frames of the
+/// disturbance ending.
+pub const RECOVERY_WINDOW: u64 = 30;
+
+/// The drift-runtime artefact (`drift_runtime.json`): execution
+/// parameters + one row per (family, scenario) cell, JSON round-trip
+/// and self-validation mirroring
+/// [`hybridem_comm::campaign::CampaignReport`].
+#[derive(Clone, Debug)]
+pub struct DriftRuntimeReport {
+    /// Campaign label.
+    pub name: String,
+    /// Base seed the artefact is a pure function of.
+    pub seed: u64,
+    /// Links per cell.
+    pub links: u32,
+    /// Symbols per frame.
+    pub frame_symbols: u64,
+    /// Pilot symbols per frame.
+    pub pilot_symbols: u64,
+    /// Modelled symbol rate (symbols/s) behind the latency accounting.
+    pub symbol_rate: f64,
+    /// Width of the recompiled integer deployments.
+    pub deploy_bits: u32,
+    /// One row per cell, in matrix order.
+    pub rows: Vec<DriftRow>,
+}
+
+hybridem_mathkit::impl_to_json!(DriftRuntimeReport {
+    name,
+    seed,
+    links,
+    frame_symbols,
+    pilot_symbols,
+    symbol_rate,
+    deploy_bits,
+    rows,
+});
+
+impl FromJson for DriftRuntimeReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            links: u32::from_json(v.field("links")?)?,
+            frame_symbols: u64::from_json(v.field("frame_symbols")?)?,
+            pilot_symbols: u64::from_json(v.field("pilot_symbols")?)?,
+            symbol_rate: f64::from_json(v.field("symbol_rate")?)?,
+            deploy_bits: u32::from_json(v.field("deploy_bits")?)?,
+            rows: Vec::<DriftRow>::from_json(v.field("rows")?)?,
+        })
+    }
+}
+
+impl DriftRuntimeReport {
+    /// Schema/invariant validation of a (re-loaded) artefact: vector
+    /// lengths match the frame count, rates are finite and consistent
+    /// with their counts, events lie inside the stream. Returns the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.links == 0 {
+            return Err("links must be positive".to_string());
+        }
+        if self.frame_symbols == 0 {
+            return Err("frame_symbols must be positive".to_string());
+        }
+        for (i, r) in self.rows.iter().enumerate() {
+            let ctx = |msg: String| format!("row {i} ({}/{}): {msg}", r.family, r.trajectory);
+            for (label, len) in [
+                ("bit_errors", r.bit_errors.len()),
+                ("ber", r.ber.len()),
+                ("pilot_ber", r.pilot_ber.len()),
+                ("mi", r.mi.len()),
+            ] {
+                if len as u64 != r.frames {
+                    return Err(ctx(format!(
+                        "{label} has {len} entries for {} frames",
+                        r.frames
+                    )));
+                }
+            }
+            if r.links != self.links {
+                return Err(ctx("row link count differs from campaign".to_string()));
+            }
+            if r.payload_bits_per_frame == 0 {
+                return Err(ctx("payload_bits_per_frame must be positive".to_string()));
+            }
+            for (f, (&e, &b)) in r.bit_errors.iter().zip(&r.ber).enumerate() {
+                if e > r.payload_bits_per_frame {
+                    return Err(ctx(format!("frame {f}: more errors than bits")));
+                }
+                let expect = e as f64 / r.payload_bits_per_frame as f64;
+                if !b.is_finite() || (b - expect).abs() > 1e-12 {
+                    return Err(ctx(format!(
+                        "frame {f}: ber {b} inconsistent with count {e}"
+                    )));
+                }
+            }
+            if r.pilot_ber.iter().any(|x| !(0.0..=1.0).contains(x))
+                || r.mi.iter().any(|x| !x.is_finite())
+            {
+                return Err(ctx("non-finite or out-of-range rate".to_string()));
+            }
+            if r.expect_recovery.is_some()
+                && (r.baseline_frames == 0
+                    || r.drift_end_frame + RECOVERY_WINDOW > r.frames
+                    || r.baseline_frames > r.drift_end_frame)
+            {
+                return Err(ctx("windows do not fit the stream".to_string()));
+            }
+            if r.retrains != r.retrain_events.len() as u64 {
+                return Err(ctx(
+                    "retrains count disagrees with the event list".to_string()
+                ));
+            }
+            for e in &r.retrain_events {
+                if e.link >= r.links
+                    || e.trigger_frame > e.swap_frame
+                    || e.swap_frame >= r.frames
+                    || e.swap_frame - e.trigger_frame != e.latency_frames
+                {
+                    return Err(ctx(format!("inconsistent retrain event {e:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the drift claims themselves: every row carrying an
+    /// expectation must (fail to) re-converge as scripted — the
+    /// adaptive family within 2× of its pre-drift BER over the final
+    /// [`RECOVERY_WINDOW`], a non-recovering frozen family at ≥ 4× —
+    /// and rows flagged `expect_retrain` must log at least one
+    /// trigger→swap cycle.
+    pub fn validate_recovery(&self) -> Result<(), String> {
+        for r in &self.rows {
+            let ctx = |msg: String| format!("{}/{}: {msg}", r.family, r.trajectory);
+            let Some(want) = r.expect_recovery else {
+                continue;
+            };
+            // Same window bounds `validate()` enforces, re-checked
+            // here so calling this gate alone on a malformed artefact
+            // reports the violation instead of panicking.
+            if r.baseline_frames == 0
+                || r.baseline_frames > r.frames
+                || r.frames < RECOVERY_WINDOW
+                || r.bit_errors.len() as u64 != r.frames
+            {
+                return Err(ctx("windows do not fit the stream".to_string()));
+            }
+            let base = r.window_ber(0, r.baseline_frames);
+            let post = r.window_ber(r.frames - RECOVERY_WINDOW, r.frames);
+            if want {
+                if post > 2.0 * base + 2e-3 {
+                    return Err(ctx(format!(
+                        "must re-converge: post-drift BER {post:.3e} vs baseline {base:.3e}"
+                    )));
+                }
+            } else if post < 4.0 * base + 2e-3 {
+                return Err(ctx(format!(
+                    "must stay degraded: post-drift BER {post:.3e} vs baseline {base:.3e}"
+                )));
+            }
+            if r.expect_retrain && r.retrains == 0 {
+                return Err(ctx("expected at least one retrain event".to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders one summary line per row as a Markdown table.
+    pub fn markdown_table(&self) -> String {
+        let mut s = String::from(
+            "| Family | Trajectory | baseline BER | worst BER | final BER | retrains |\n\
+             |---|---|---|---|---|---|\n",
+        );
+        for r in &self.rows {
+            let base = r.window_ber(0, r.baseline_frames.max(1));
+            let worst = r.ber.iter().copied().fold(0.0f64, f64::max);
+            let tail_from = r.frames.saturating_sub(RECOVERY_WINDOW.min(r.frames));
+            let tail = r.window_ber(tail_from, r.frames);
+            s.push_str(&format!(
+                "| {} | {} | {:.3e} | {:.3e} | {:.3e} | {} |\n",
+                r.family, r.trajectory, base, worst, tail, r.retrains
+            ));
+        }
+        s
+    }
+}
+
+fn link_seed(base: u64, family: usize, scenario: usize, link: u32) -> u64 {
+    let cell = ((family as u64) << 42) | ((scenario as u64) << 21) | u64::from(link);
+    SplitMix64::derive(base, cell)
+}
+
+/// Runs the campaign: every (family, scenario) cell shards its links
+/// over a [`ShardRunner`] (per-link seed, RNG stream and state) and
+/// pools per-frame counts in link order, so the report is a pure
+/// function of `(spec, seed)` — independent of `HYBRIDEM_THREADS`.
+pub fn run_drift_campaign(spec: &DriftCampaignSpec<'_>) -> DriftRuntimeReport {
+    assert!(!spec.families.is_empty(), "campaign needs ≥ 1 family");
+    assert!(!spec.scenarios.is_empty(), "campaign needs ≥ 1 scenario");
+    assert!(spec.links > 0, "campaign needs ≥ 1 link per cell");
+    let mut rows = Vec::with_capacity(spec.families.len() * spec.scenarios.len());
+    for (fi, family) in spec.families.iter().enumerate() {
+        for (si, sc) in spec.scenarios.iter().enumerate() {
+            let frames = sc.trajectory.total_frames() as usize;
+            // Adaptive links are expensive to build (model-snapshot
+            // restore, boundary calibration, graph compile), so
+            // construction happens on the shard workers too — each
+            // slot is a pure function of its index, preserving the
+            // byte-identical artefact.
+            let mut runner: ShardRunner<Option<OnlineLink>> =
+                ShardRunner::new(spec.links, |_| None);
+            runner.run_round(|i, slot| {
+                let mut link = (family.build)(&sc.trajectory, link_seed(spec.seed, fi, si, i));
+                link.run();
+                *slot = Some(link);
+            });
+
+            let mut bit_errors = vec![0u64; frames];
+            let mut pilot_errors = vec![0u64; frames];
+            let mut mi_sum = vec![0f64; frames];
+            let mut payload_bits = 0u64;
+            let mut pilot_bits = 0u64;
+            let mut retrain_events = Vec::new();
+            for (li, slot) in runner.states().iter().enumerate() {
+                let link = slot.as_ref().expect("every shard built its link");
+                assert_eq!(link.log().len(), frames, "link streamed the whole script");
+                for rec in link.log() {
+                    let f = rec.frame as usize;
+                    bit_errors[f] += rec.payload_bit_errors;
+                    pilot_errors[f] += rec.pilot_bit_errors;
+                    mi_sum[f] += rec.mi;
+                    if li == 0 && f == 0 {
+                        payload_bits = rec.payload_bits * u64::from(spec.links);
+                        pilot_bits = rec.pilot_bits * u64::from(spec.links);
+                    }
+                }
+                for e in link.events() {
+                    retrain_events.push(RetrainEventRecord {
+                        link: li as u32,
+                        trigger_frame: e.trigger_frame,
+                        swap_frame: e.swap_frame,
+                        latency_frames: e.latency_frames,
+                    });
+                }
+            }
+            let ber: Vec<f64> = bit_errors
+                .iter()
+                .map(|&e| e as f64 / payload_bits.max(1) as f64)
+                .collect();
+            let pilot_ber: Vec<f64> = pilot_errors
+                .iter()
+                .map(|&e| {
+                    if pilot_bits == 0 {
+                        0.0
+                    } else {
+                        e as f64 / pilot_bits as f64
+                    }
+                })
+                .collect();
+            let mi: Vec<f64> = mi_sum.iter().map(|&s| s / f64::from(spec.links)).collect();
+            let expect_recovery = match family.role {
+                FamilyRole::Baseline => None,
+                FamilyRole::Frozen => sc.frozen_recovers,
+                FamilyRole::Adaptive => sc.adaptive_recovers,
+            };
+            let expect_retrain = family.role == FamilyRole::Adaptive
+                && sc.adaptive_recovers == Some(true)
+                && sc.frozen_recovers == Some(false);
+            rows.push(DriftRow {
+                family: family.name.clone(),
+                role: match family.role {
+                    FamilyRole::Baseline => "baseline",
+                    FamilyRole::Frozen => "frozen",
+                    FamilyRole::Adaptive => "adaptive",
+                }
+                .to_string(),
+                trajectory: sc.trajectory.name.clone(),
+                frames: frames as u64,
+                links: spec.links,
+                baseline_frames: sc.baseline_frames,
+                drift_end_frame: sc.drift_end_frame,
+                expect_recovery,
+                expect_retrain,
+                payload_bits_per_frame: payload_bits,
+                bit_errors,
+                ber,
+                pilot_ber,
+                mi,
+                retrains: retrain_events.len() as u64,
+                retrain_events,
+            });
+        }
+    }
+    DriftRuntimeReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        links: spec.links,
+        frame_symbols: spec.params.frame_symbols as u64,
+        pilot_symbols: spec.params.pilot_symbols as u64,
+        symbol_rate: spec.params.symbol_rate,
+        deploy_bits: spec.params.deploy_bits,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noiseless_spec(frames: u64, seed: u64) -> OnlineLinkSpec {
+        OnlineLinkSpec::new(
+            Trajectory::constant("clean", ChannelState::clean(f64::INFINITY), frames),
+            seed,
+        )
+    }
+
+    fn qam_link(spec: OnlineLinkSpec) -> OnlineLink {
+        let qam = Constellation::qam_gray(16);
+        let demapper = MaxLogMap::new(qam.clone(), 0.14);
+        OnlineLink::fixed(spec, qam, Box::new(demapper))
+    }
+
+    #[test]
+    fn noiseless_fixed_link_is_error_free() {
+        let mut link = qam_link(noiseless_spec(5, 3));
+        link.run();
+        assert_eq!(link.frames(), 5);
+        assert_eq!(link.log().len(), 5);
+        for rec in link.log() {
+            assert_eq!(rec.payload_bit_errors, 0);
+            assert_eq!(rec.pilot_bit_errors, 0);
+            assert_eq!(rec.payload_bits, (256 - 64) * 4);
+            assert!(rec.mi > 0.999, "clean LLRs carry the full bit: {}", rec.mi);
+            assert!(!rec.triggered && !rec.swapped);
+        }
+        assert!(link.events().is_empty());
+        assert!(link.deployment().is_none());
+    }
+
+    #[test]
+    fn fixed_link_replays_deterministically() {
+        let run = || {
+            let mut spec = noiseless_spec(4, 9);
+            spec.trajectory = Trajectory::constant("awgn", ChannelState::clean(10.0), 4);
+            let mut link = qam_link(spec);
+            link.run();
+            link.log()
+                .iter()
+                .map(|r| (r.payload_bit_errors, r.mi.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ecc_monitor_decodes_cleanly_on_a_matched_link() {
+        let mut spec = noiseless_spec(3, 5);
+        spec.params.monitor = Monitor::Ecc;
+        let mut link = qam_link(spec);
+        link.run();
+        for rec in link.log() {
+            assert_eq!(rec.payload_bit_errors, 0, "noiseless coded payload");
+        }
+    }
+
+    #[test]
+    fn pilot_only_frames_are_supported() {
+        let mut spec = noiseless_spec(2, 1);
+        spec.params.pilot_symbols = spec.params.frame_symbols;
+        let mut link = qam_link(spec);
+        link.run();
+        for rec in link.log() {
+            assert_eq!(rec.payload_bits, 0);
+            assert_eq!(rec.ber(), 0.0, "zero-payload contract: never NaN");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on bits/symbol")]
+    fn mismatched_widths_rejected() {
+        let qam = Constellation::qam_gray(16);
+        let wrong = MaxLogMap::new(Constellation::qam_gray(4), 0.1);
+        let _ = OnlineLink::fixed(noiseless_spec(1, 0), qam, Box::new(wrong));
+    }
+
+    fn tiny_pipeline() -> HybridPipeline {
+        // fast_test budgets land the hybrid at ≈ 3 % clean BER — good
+        // enough to separate clean from π/4-broken with the loosened
+        // thresholds below, cheap enough for debug-mode tests.
+        let mut cfg = SystemConfig::fast_test();
+        cfg.retrain_steps = 80;
+        cfg.grid_n = 48;
+        let mut pipe = HybridPipeline::new(cfg);
+        let _ = pipe.e2e_train();
+        let _ = pipe.extract_centroids();
+        pipe
+    }
+
+    /// Thresholds sized for the weak test AE: clean (≈ 3 %) must not
+    /// trigger, π/4-broken (≈ 25 %) must, on one frame of evidence.
+    fn test_thresholds() -> AdaptThresholds {
+        AdaptThresholds {
+            ber_retrain: 0.12,
+            ber_healthy: 0.05,
+            min_observations: 256,
+            ..AdaptThresholds::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_link_triggers_on_phase_step_and_swaps() {
+        let pipe = tiny_pipeline();
+        let es = pipe.config().es_n0_db();
+        let trajectory = Trajectory::new("step")
+            .hold(4, ChannelState::clean(es))
+            .hold(
+                80,
+                ChannelState::clean(es).with_phase(std::f32::consts::FRAC_PI_4),
+            );
+        let mut spec = OnlineLinkSpec::new(trajectory, 77);
+        spec.params.thresholds = test_thresholds();
+        let mut link = OnlineLink::adaptive(spec, &pipe);
+        let probe = C32::new(0.55, -0.35);
+        let before = link.deployment().unwrap().process_iq(probe);
+        link.run();
+        assert!(!link.events().is_empty(), "π/4 step must trigger a retrain");
+        let e = link.events()[0];
+        assert!(e.trigger_frame >= 4, "no trigger on the clean prefix");
+        assert!(e.latency_frames >= 1 && e.sim_time_s > 0.0);
+        // The swap really replaced both demappers: the recompiled
+        // integer deployment answers differently.
+        let after = link.deployment().unwrap().process_iq(probe);
+        assert_ne!(before, after, "deployment must be recompiled on swap");
+        let broken: f64 = link.log()[e.trigger_frame as usize].ber();
+        let healed: f64 = link.log().last().unwrap().ber();
+        assert!(
+            healed < broken * 0.5,
+            "retrained datapath must beat the stale one: {broken} → {healed}"
+        );
+    }
+
+    #[test]
+    fn log_only_action_records_triggers_without_retraining() {
+        let pipe = tiny_pipeline();
+        let es = pipe.config().es_n0_db();
+        let trajectory = Trajectory::constant(
+            "offset",
+            ChannelState::clean(es).with_phase(std::f32::consts::FRAC_PI_4),
+            40,
+        );
+        let mut spec = OnlineLinkSpec::new(trajectory, 13);
+        spec.params.action = TriggerAction::LogOnly;
+        spec.params.thresholds = test_thresholds();
+        let mut link = OnlineLink::adaptive(spec, &pipe);
+        while link.frames() < 40 && link.events().is_empty() {
+            link.step();
+        }
+        assert!(!link.events().is_empty(), "offset must be detected");
+        assert_eq!(link.events()[0].latency_frames, 0);
+        // LogOnly never swaps: the stream stays broken.
+        link.run();
+        assert!(link.log().last().unwrap().ber() > 0.1);
+    }
+
+    #[test]
+    fn drift_campaign_pools_links_and_round_trips_json() {
+        use hybridem_mathkit::json::ToJson;
+        let qam = Constellation::qam_gray(16);
+        let sigma = 0.2f32;
+        let scenarios = vec![DriftScenario {
+            trajectory: Trajectory::constant("awgn", ChannelState::clean(12.0), 6),
+            baseline_frames: 2,
+            drift_end_frame: 2,
+            adaptive_recovers: None,
+            frozen_recovers: None,
+        }];
+        let qam2 = qam.clone();
+        let families = vec![DriftFamily {
+            name: "maxlog".to_string(),
+            role: FamilyRole::Baseline,
+            build: Box::new(move |traj, seed| {
+                OnlineLink::fixed(
+                    OnlineLinkSpec::new(traj.clone(), seed),
+                    qam2.clone(),
+                    Box::new(MaxLogMap::new(qam2.clone(), sigma)),
+                )
+            }),
+        }];
+        let spec = DriftCampaignSpec {
+            name: "mini".to_string(),
+            families,
+            scenarios,
+            links: 3,
+            params: LinkParams::default(),
+            seed: 11,
+        };
+        let report = run_drift_campaign(&spec);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.frames, 6);
+        assert_eq!(row.payload_bits_per_frame, 3 * (256 - 64) * 4);
+        report.validate().expect("artefact invariants");
+        let text = report.to_json().to_string_pretty();
+        let back = DriftRuntimeReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        back.validate().expect("reloaded artefact invariants");
+        assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn link_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..3 {
+            for s in 0..5 {
+                for l in 0..8 {
+                    assert!(seen.insert(link_seed(7, f, s, l)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pilot monitoring needs pilot_symbols")]
+    fn adaptive_pilot_monitor_without_pilots_rejected() {
+        // An untrained pipeline is enough: extraction falls back to
+        // the learned constellation, and the assert fires at build.
+        let mut pipe = HybridPipeline::new(SystemConfig::fast_test());
+        let _ = pipe.extract_centroids();
+        let mut spec = noiseless_spec(1, 0);
+        spec.params.pilot_symbols = 0;
+        let _ = OnlineLink::adaptive(spec, &pipe);
+    }
+
+    #[test]
+    fn validate_recovery_reports_malformed_windows_instead_of_panicking() {
+        // A row with a recovery claim but fewer frames than the
+        // recovery window must yield Err from the claim gate alone
+        // (no prior validate() call).
+        let report = DriftRuntimeReport {
+            name: "bad".to_string(),
+            seed: 0,
+            links: 1,
+            frame_symbols: 256,
+            pilot_symbols: 64,
+            symbol_rate: 1e6,
+            deploy_bits: 8,
+            rows: vec![DriftRow {
+                family: "adaptive-hybrid".to_string(),
+                role: "adaptive".to_string(),
+                trajectory: "truncated".to_string(),
+                frames: 5,
+                links: 1,
+                baseline_frames: 2,
+                drift_end_frame: 2,
+                expect_recovery: Some(true),
+                expect_retrain: false,
+                payload_bits_per_frame: 768,
+                bit_errors: vec![0; 5],
+                ber: vec![0.0; 5],
+                pilot_ber: vec![0.0; 5],
+                mi: vec![0.0; 5],
+                retrain_events: Vec::new(),
+                retrains: 0,
+            }],
+        };
+        let err = report.validate_recovery().unwrap_err();
+        assert!(err.contains("windows do not fit"), "{err}");
+    }
+}

@@ -18,14 +18,19 @@
 //!   per-task RNG streams and associative reduction;
 //! - [`montecarlo::RoundRunner`] — the resumable round-based variant
 //!   behind the campaign engine's statistical early stopping
-//!   (DESIGN.md §8).
+//!   (DESIGN.md §8);
+//! - [`shard::ShardRunner`] — fully independent stateful shards (one
+//!   online link per shard) stepped in parallel and folded in shard
+//!   order (DESIGN.md §10).
 
 #![warn(missing_docs)]
 
 pub mod montecarlo;
 pub mod par_iter;
+pub mod shard;
 pub mod util;
 
 pub use montecarlo::{run as montecarlo_run, MonteCarloPlan, RoundRunner};
 pub use par_iter::{par_chunks_map, par_for_each_mut, par_map, par_map_indexed};
+pub use shard::ShardRunner;
 pub use util::num_threads;
