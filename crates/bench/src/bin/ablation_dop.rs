@@ -6,7 +6,7 @@
 
 use hybridem_bench::{banner, write_json};
 use hybridem_fixed::QFormat;
-use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
+use hybridem_fpga::mvau::{Folding, HwActivation, Mvau, MvauConfig};
 use hybridem_fpga::power::PowerModel;
 use hybridem_mathkit::matrix::Matrix;
 
@@ -52,8 +52,7 @@ fn main() {
         let cfg = MvauConfig {
             in_dim: 16,
             out_dim: 16,
-            simd,
-            pe,
+            folding: Folding::new(pe, simd),
             weight_format: fmt,
             in_format: fmt,
             out_format: fmt,

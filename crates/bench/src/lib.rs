@@ -17,8 +17,11 @@
 //! | `ablation_quant` | (ext.) bit-width vs BER |
 //! | `ablation_grid` | (ext.) extraction-grid resolution |
 //! | `ablation_trigger` | (ext.) retrain-trigger detection latency |
+//! | `perf` | (infra) perf-regression gate over the SIMD kernels, trajectories in `BENCH_*.json` |
 
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use hybridem_mathkit::json::ToJson;
 use std::path::{Path, PathBuf};

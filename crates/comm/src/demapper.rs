@@ -32,6 +32,8 @@
 
 use crate::constellation::Constellation;
 use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::simd::{self, LaneWidth, Simd, SimdKernel};
+use std::cell::RefCell;
 
 /// Widest symbol (bits) the fixed stack buffers of the per-symbol
 /// convenience paths support.
@@ -45,14 +47,13 @@ pub const MAX_EXACT_POINTS: usize = 256;
 /// bit-major working planes of one tile (distances plus per-bit
 /// min/max/sum lanes) must stay cache-resident or the point-outer
 /// restructuring loses its advantage to memory traffic; at 256 symbols
-/// the max-log working set is ~20 KB (L1-sized). Measured (QAM-16,
-/// `demap_block_sweep`): block throughput peaks at 256-symbol blocks
-/// (~2.1× the per-symbol path); on much larger cold-streamed blocks
-/// the whole workload becomes memory-bound and tile size stops
-/// mattering (32–512 measured within noise of each other), with
-/// max-log falling behind the register-resident per-symbol path.
-/// Receive paths therefore feed cache-hot blocks of roughly this size
-/// (the link simulator's default block length). Tiling does not affect
+/// the max-log working set is ~20 KB (L1-sized). With the vectorized
+/// max-log tile kernel and its reusable thread-local scratch (the
+/// per-tile allocations that once dragged long cold streams below the
+/// per-symbol path are gone), block demap beats the per-symbol loop at
+/// every length — ~12× at n=4096 on an AVX-512 host (pinned by the
+/// `perf` gate's `max_log_block_n4096 ≥ max_log_per_symbol_n4096`
+/// assert and tracked in `BENCH_demap.json`). Tiling does not affect
 /// results: symbols are independent.
 pub const BLOCK_TILE: usize = 256;
 
@@ -436,42 +437,143 @@ impl Demapper for MaxLogMap {
     }
 }
 
-impl MaxLogMap {
-    /// Point-outer kernel over one cache-resident tile.
-    fn demap_tile(&self, ys: &[C32], out: &mut [f32]) {
-        let m = self.bits_per_symbol();
-        let n = ys.len();
-        // Point-outer kernel over bit-major running-min planes
-        // `min[k*n + s]`: each constellation point is visited once per
-        // tile; its distances to all `n` samples stream through one
-        // contiguous buffer, and the precomputed subset masks route the
-        // per-bit updates without re-deriving label bits. Same distance
-        // expression and update order as `llrs` ⇒ bit-exact.
-        let mut min0 = vec![f32::INFINITY; m * n];
-        let mut min1 = vec![f32::INFINITY; m * n];
-        let mut dist = vec![0f32; n];
-        for (i, &c) in self.constellation.points().iter().enumerate() {
-            for (d, &y) in dist.iter_mut().zip(ys) {
-                *d = y.dist_sqr(c);
-            }
+/// Reusable working planes of the vectorized max-log tile kernel
+/// (split-component samples plus the bit-major running-min planes).
+/// Thread-local so `demap_tile` allocates only on each thread's first
+/// tile: per-tile `vec!` allocations were what dragged the block path
+/// below the per-symbol loop on long cold streams (n ≳ 4096).
+struct MaxLogScratch {
+    yr: Vec<f32>,
+    yi: Vec<f32>,
+    min0: Vec<f32>,
+    min1: Vec<f32>,
+}
+
+thread_local! {
+    static MAXLOG_SCRATCH: RefCell<MaxLogScratch> = const {
+        RefCell::new(MaxLogScratch {
+            yr: Vec::new(),
+            yi: Vec::new(),
+            min0: Vec::new(),
+            min1: Vec::new(),
+        })
+    };
+}
+
+/// The point-outer max-log tile, written once over `Simd` lanes and
+/// monomorphised at the probed width by [`simd::dispatch`]. Lanes run
+/// across symbols: one distance vector per chunk feeds the per-bit
+/// running-min planes the subset masks select. Same distance
+/// expression (`dr·dr + di·di`), point order and strict-`<` min update
+/// as the scalar `llrs` loop ⇒ bit-exact at every width.
+struct MaxLogTile<'a> {
+    pts: &'a [C32],
+    subsets: &'a BitSubsets,
+    inv_two_sigma_sqr: f32,
+    ys: &'a [C32],
+    out: &'a mut [f32],
+    scratch: &'a mut MaxLogScratch,
+}
+
+impl SimdKernel for MaxLogTile<'_> {
+    type Output = ();
+
+    fn run<const N: usize>(self) {
+        let m = self.subsets.m;
+        let n = self.ys.len();
+        let sc = self.scratch;
+        sc.yr.clear();
+        sc.yr.extend(self.ys.iter().map(|y| y.re));
+        sc.yi.clear();
+        sc.yi.extend(self.ys.iter().map(|y| y.im));
+        sc.min0.clear();
+        sc.min0.resize(m * n, f32::INFINITY);
+        sc.min1.clear();
+        sc.min1.resize(m * n, f32::INFINITY);
+        let s_vec = n - n % N;
+        for (i, &c) in self.pts.iter().enumerate() {
             let row = self.subsets.row(i);
-            for (k, &is_one) in row.iter().enumerate() {
-                let plane = if is_one {
-                    &mut min1[k * n..(k + 1) * n]
-                } else {
-                    &mut min0[k * n..(k + 1) * n]
-                };
-                for (p, &d) in plane.iter_mut().zip(&dist) {
+            let cr = Simd::<f32, N>::splat(c.re);
+            let ci = Simd::<f32, N>::splat(c.im);
+            let mut s = 0;
+            while s < s_vec {
+                // Distances of one symbol chunk stay in a register
+                // while every bit plane consumes them.
+                let dr = Simd::<f32, N>::load(&sc.yr[s..]).sub(cr);
+                let di = Simd::<f32, N>::load(&sc.yi[s..]).sub(ci);
+                let d = dr.mul(dr).add(di.mul(di));
+                for (k, &is_one) in row.iter().enumerate() {
+                    let plane = if is_one { &mut sc.min1 } else { &mut sc.min0 };
+                    let p = &mut plane[k * n + s..];
+                    Simd::<f32, N>::load(p).min(d).store(p);
+                }
+                s += N;
+            }
+            for s in s_vec..n {
+                let dr = sc.yr[s] - c.re;
+                let di = sc.yi[s] - c.im;
+                let d = dr * dr + di * di;
+                for (k, &is_one) in row.iter().enumerate() {
+                    let p = if is_one {
+                        &mut sc.min1[k * n + s]
+                    } else {
+                        &mut sc.min0[k * n + s]
+                    };
                     if d < *p {
                         *p = d;
                     }
                 }
             }
         }
-        for (s, chunk) in out.chunks_exact_mut(m).enumerate() {
+        for (s, chunk) in self.out.chunks_exact_mut(m).enumerate() {
             for (k, o) in chunk.iter_mut().enumerate() {
-                *o = (min1[k * n + s] - min0[k * n + s]) * self.inv_two_sigma_sqr;
+                *o = (sc.min1[k * n + s] - sc.min0[k * n + s]) * self.inv_two_sigma_sqr;
             }
+        }
+    }
+}
+
+impl MaxLogMap {
+    /// Point-outer kernel over one cache-resident tile, dispatched at
+    /// the host's probed lane width.
+    fn demap_tile(&self, ys: &[C32], out: &mut [f32]) {
+        self.demap_tile_at(LaneWidth::detect(), ys, out);
+    }
+
+    fn demap_tile_at(&self, width: LaneWidth, ys: &[C32], out: &mut [f32]) {
+        MAXLOG_SCRATCH.with(|sc| {
+            simd::dispatch_at(
+                width,
+                MaxLogTile {
+                    pts: self.constellation.points(),
+                    subsets: &self.subsets,
+                    inv_two_sigma_sqr: self.inv_two_sigma_sqr,
+                    ys,
+                    out,
+                    scratch: &mut sc.borrow_mut(),
+                },
+            );
+        });
+    }
+
+    /// [`Demapper::demap_block`] pinned to an explicit [`LaneWidth`] —
+    /// the hook the property tests use to prove the tile kernel
+    /// bit-exact at every supported width. Results never depend on
+    /// `width`; hot paths should use the trait method, which dispatches
+    /// at the probed width.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == ys.len() * bits_per_symbol()`.
+    pub fn demap_block_at(&self, width: LaneWidth, ys: &[C32], out: &mut [f32]) {
+        let m = self.bits_per_symbol();
+        assert_eq!(
+            out.len(),
+            ys.len() * m,
+            "demap_block output buffer must hold exactly {} LLRs",
+            ys.len() * m
+        );
+        for (ys_t, out_t) in ys.chunks(BLOCK_TILE).zip(out.chunks_mut(BLOCK_TILE * m)) {
+            self.demap_tile_at(width, ys_t, out_t);
         }
     }
 }

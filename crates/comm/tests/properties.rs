@@ -8,6 +8,7 @@ use hybridem_comm::demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
 use hybridem_comm::ecc::{ConvCode, Hamming74, Viterbi};
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::Xoshiro256pp;
+use hybridem_mathkit::simd::LaneWidth;
 use proptest::prelude::*;
 
 proptest! {
@@ -280,6 +281,53 @@ proptest! {
             // Correct decode: the survivor equals the clean codeword, so
             // the corrected count equals the number of flipped positions.
             prop_assert_eq!(out.corrected, actual_flips.len() as u64);
+        }
+    }
+}
+
+proptest! {
+    // The width sweep re-runs every length at every supported lane
+    // width; a handful of random point sets suffices because the
+    // kernel is deterministic per (width, input).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn maxlog_block_bit_exact_at_every_lane_width(
+        theta in -3.2f32..3.2,
+        sigma in 0.05f32..0.5,
+        seed in any::<u64>(),
+    ) {
+        // The SIMD tile kernel's contract (DESIGN.md §11): demapping is
+        // bit-identical at every lane width the host supports — chunk
+        // lanes plus the scalar remainder compute exactly the scalar
+        // reference — across lengths that exercise empty blocks, pure
+        // remainders (1, 7), one full tile (256) and a multi-tile
+        // stream with a trailing remainder (4097).
+        let centroids = Constellation::qam_gray(16).rotated(theta);
+        let maxlog = MaxLogMap::new(centroids, sigma);
+        let m = maxlog.bits_per_symbol();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let all: Vec<C32> = (0..4097)
+            .map(|_| C32::new(rng.normal_f32(), rng.normal_f32()))
+            .collect();
+        for &len in &[0usize, 1, 7, 256, 4097] {
+            let ys = &all[..len];
+            let mut reference = vec![0f32; len * m];
+            let mut single = vec![0f32; m];
+            for (s, &y) in ys.iter().enumerate() {
+                maxlog.llrs(y, &mut single);
+                reference[s * m..(s + 1) * m].copy_from_slice(&single);
+            }
+            for width in LaneWidth::supported() {
+                let mut block = vec![0f32; len * m];
+                maxlog.demap_block_at(width, ys, &mut block);
+                for (i, (b, r)) in block.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        b.to_bits(), r.to_bits(),
+                        "len {} width {:?} llr {}: {} vs {}", len, width, i, b, r
+                    );
+                }
+            }
         }
     }
 }

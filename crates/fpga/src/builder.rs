@@ -189,6 +189,7 @@ pub fn build_inference_design(
         // pre-activation range.
         sigmoid_ranges: pre_act_max.iter().map(|&m| (m as f64).max(4.0)).collect(),
         writable_weights: true, // retraining rewrites weights in place
+        folding: None,          // inference design: fully parallel
     };
     let graph = compile_spec(model, &spec);
 

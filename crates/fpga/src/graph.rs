@@ -13,7 +13,7 @@
 //! warm-up, and slots straight into the link simulator as a
 //! [`Demapper`].
 
-use crate::mvau::{HwActivation, Mvau, MvauConfig, MvauScratch};
+use crate::mvau::{Folding, HwActivation, Mvau, MvauConfig, MvauScratch};
 use crate::sigmoid_lut::SigmoidLut;
 use hybridem_comm::demapper::Demapper;
 use hybridem_fixed::{QFormat, QuantSpec, Rounding};
@@ -49,6 +49,11 @@ pub struct GraphSpec {
     pub sigmoid_ranges: Vec<f64>,
     /// Whether weight memories stay runtime-writable (retraining).
     pub writable_weights: bool,
+    /// Requested folding applied to every layer (fitted per layer via
+    /// [`Folding::fit_to`], since one uniform request must match
+    /// different shapes). `None` compiles fully parallel — the paper's
+    /// inference design.
+    pub folding: Option<Folding>,
 }
 
 impl GraphSpec {
@@ -65,6 +70,7 @@ impl GraphSpec {
             weight_bits,
             sigmoid_addr_bits: 8,
             writable_weights: true,
+            folding: None,
         }
     }
 }
@@ -215,7 +221,7 @@ pub fn compile_spec(model: &Sequential, spec: &GraphSpec) -> QuantizedGraph {
             )),
             _ => HwActivation::Linear,
         };
-        let cfg = MvauConfig::full_parallel(
+        let mut cfg = MvauConfig::full_parallel(
             unit.weight.cols(),
             unit.weight.rows(),
             wspec.format,
@@ -223,6 +229,9 @@ pub fn compile_spec(model: &Sequential, spec: &GraphSpec) -> QuantizedGraph {
             out_fmt,
             spec.writable_weights,
         );
+        if let Some(f) = spec.folding {
+            cfg.folding = f.fit_to(cfg.in_dim, cfg.out_dim);
+        }
         mvaus.push(Mvau::from_dense(cfg, &unit.weight, &unit.bias, activation));
     }
     assert!(!mvaus.is_empty(), "model has no dense layers");
@@ -241,6 +250,29 @@ pub fn compile_spec(model: &Sequential, spec: &GraphSpec) -> QuantizedGraph {
 }
 
 impl QuantizedGraph {
+    /// The same compiled graph under a uniform folding request, fitted
+    /// per layer ([`Folding::fit_to`]). Outputs are bit-identical —
+    /// folding only reshapes each layer's schedule — while the
+    /// resource/latency model and the software kernels follow the new
+    /// factors.
+    pub fn with_folding(&self, folding: Folding) -> QuantizedGraph {
+        let mvaus = self
+            .mvaus
+            .iter()
+            .map(|m| {
+                let f = folding.fit_to(m.config().in_dim, m.config().out_dim);
+                m.refold(f).expect("fitted folding divides the shape")
+            })
+            .collect();
+        QuantizedGraph {
+            mvaus,
+            input_format: self.input_format,
+            output_format: self.output_format,
+            output: self.output,
+            weight_bits: self.weight_bits,
+        }
+    }
+
     /// The compiled MVAU chain.
     pub fn mvaus(&self) -> &[Mvau] {
         &self.mvaus

@@ -22,6 +22,7 @@ use crate::resources::{self, ResourceUsage};
 use crate::sigmoid_lut::SigmoidLut;
 use hybridem_fixed::{QFormat, QuantSpec, Rounding};
 use hybridem_mathkit::matrix::Matrix;
+use hybridem_mathkit::simd::{self, LaneWidth, Simd, SimdKernel};
 
 /// Hardware activation function of an MVAU.
 #[derive(Clone, Debug)]
@@ -34,6 +35,130 @@ pub enum HwActivation {
     Linear,
 }
 
+/// Why a [`Folding`] cannot be applied to a layer shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoldingError {
+    /// `pe` and `simd` must both be ≥ 1.
+    ZeroFactor,
+    /// `pe` must divide the output neuron count.
+    PeDoesNotDivide {
+        /// Requested output-side parallelism.
+        pe: usize,
+        /// Layer output dimension it fails to divide.
+        out_dim: usize,
+    },
+    /// `simd` must divide the input feature count.
+    SimdDoesNotDivide {
+        /// Requested input-side parallelism.
+        simd: usize,
+        /// Layer input dimension it fails to divide.
+        in_dim: usize,
+    },
+}
+
+impl std::fmt::Display for FoldingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoldingError::ZeroFactor => {
+                write!(f, "folding factors must be >= 1 (pe and simd)")
+            }
+            FoldingError::PeDoesNotDivide { pe, out_dim } => {
+                write!(f, "pe={pe} must divide out_dim={out_dim}")
+            }
+            FoldingError::SimdDoesNotDivide { simd, in_dim } => {
+                write!(f, "simd={simd} must divide in_dim={in_dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FoldingError {}
+
+/// FINN-style folding factors — the one knob shared by the hardware
+/// cost model and the software block kernel (DESIGN.md §11).
+///
+/// In hardware, `pe` output neurons and `simd` input features are
+/// processed per cycle, so one input occupies the unit for
+/// `(in_dim/simd)·(out_dim/pe)` cycles and the resource model
+/// replicates multipliers `pe·simd` times. In software, the block
+/// kernel iterates the *same schedule*: outputs in groups of `pe`
+/// sharing one streamed input tile, inputs in beats of `simd` — so a
+/// folding sweep predicts hardware cost and measures software
+/// throughput from the same parameter. Results are folding-invariant
+/// (integer addition is associative; the accumulation order per
+/// `(symbol, neuron)` never changes), asserted by tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Folding {
+    /// Output-side parallelism (processing elements); must divide the
+    /// layer's `out_dim`.
+    pub pe: usize,
+    /// Input-side parallelism (multiplier lanes per PE); must divide
+    /// the layer's `in_dim`.
+    pub simd: usize,
+}
+
+impl Folding {
+    /// Folding with explicit factors.
+    pub fn new(pe: usize, simd: usize) -> Self {
+        Self { pe, simd }
+    }
+
+    /// Fully unfolded: every MAC in parallel, II = 1.
+    pub fn full(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            pe: out_dim,
+            simd: in_dim,
+        }
+    }
+
+    /// Fully folded: one MAC per cycle, minimal resources.
+    pub fn unit() -> Self {
+        Self { pe: 1, simd: 1 }
+    }
+
+    /// Checks this folding against a layer shape, with a clear error
+    /// instead of a panic — the validation the consistency tests and
+    /// sweep drivers rely on.
+    pub fn validate_for(&self, in_dim: usize, out_dim: usize) -> Result<(), FoldingError> {
+        if self.pe == 0 || self.simd == 0 {
+            return Err(FoldingError::ZeroFactor);
+        }
+        if !out_dim.is_multiple_of(self.pe) {
+            return Err(FoldingError::PeDoesNotDivide {
+                pe: self.pe,
+                out_dim,
+            });
+        }
+        if !in_dim.is_multiple_of(self.simd) {
+            return Err(FoldingError::SimdDoesNotDivide {
+                simd: self.simd,
+                in_dim,
+            });
+        }
+        Ok(())
+    }
+
+    /// The nearest valid folding for a layer shape: each factor is
+    /// reduced to the largest divisor of its dimension that does not
+    /// exceed the request. Used when one uniform folding is applied
+    /// across layers of different shapes (`fpga::graph`).
+    pub fn fit_to(&self, in_dim: usize, out_dim: usize) -> Self {
+        fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+            let cap = cap.clamp(1, n.max(1));
+            (1..=cap).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+        }
+        Self {
+            pe: largest_divisor_at_most(out_dim, self.pe),
+            simd: largest_divisor_at_most(in_dim, self.simd),
+        }
+    }
+
+    /// Initiation interval of a layer under this folding.
+    pub fn ii_cycles(&self, in_dim: usize, out_dim: usize) -> u64 {
+        ((in_dim / self.simd) * (out_dim / self.pe)) as u64
+    }
+}
+
 /// Static configuration of an MVAU.
 #[derive(Clone, Debug)]
 pub struct MvauConfig {
@@ -41,10 +166,9 @@ pub struct MvauConfig {
     pub in_dim: usize,
     /// Output neuron count.
     pub out_dim: usize,
-    /// Input-side parallelism (must divide `in_dim`).
-    pub simd: usize,
-    /// Output-side parallelism (must divide `out_dim`).
-    pub pe: usize,
+    /// Folding factors (PE × SIMD parallelism) — consumed by both the
+    /// resource/latency model and the software block kernel.
+    pub folding: Folding,
     /// Weight quantisation format.
     pub weight_format: QFormat,
     /// Input activation format.
@@ -58,15 +182,24 @@ pub struct MvauConfig {
 
 impl MvauConfig {
     /// Validates the folding factors.
+    ///
+    /// # Panics
+    /// Panics with the [`FoldingError`] message when the folding does
+    /// not divide the layer shape.
     pub fn validate(&self) {
-        assert!(
-            self.simd >= 1 && self.in_dim.is_multiple_of(self.simd),
-            "simd must divide in_dim"
-        );
-        assert!(
-            self.pe >= 1 && self.out_dim.is_multiple_of(self.pe),
-            "pe must divide out_dim"
-        );
+        if let Err(e) = self.folding.validate_for(self.in_dim, self.out_dim) {
+            panic!("invalid MVAU folding: {e}");
+        }
+    }
+
+    /// Output-side parallelism.
+    pub fn pe(&self) -> usize {
+        self.folding.pe
+    }
+
+    /// Input-side parallelism.
+    pub fn simd(&self) -> usize {
+        self.folding.simd
     }
 
     /// Fully-unfolded configuration (simd = in, pe = out): one result
@@ -82,8 +215,7 @@ impl MvauConfig {
         Self {
             in_dim,
             out_dim,
-            simd: in_dim,
-            pe: out_dim,
+            folding: Folding::full(in_dim, out_dim),
             weight_format,
             in_format,
             out_format,
@@ -93,7 +225,7 @@ impl MvauConfig {
 
     /// Initiation interval in cycles.
     pub fn ii_cycles(&self) -> u64 {
-        ((self.in_dim / self.simd) * (self.out_dim / self.pe)) as u64
+        self.folding.ii_cycles(self.in_dim, self.out_dim)
     }
 
     /// Pipeline depth in cycles: the input fold drains through the
@@ -102,7 +234,7 @@ impl MvauConfig {
     /// with the activation folded into the final tree level.
     /// For the fully-unfolded case this is `1 + ⌈log₂ in_dim⌉`.
     pub fn depth_cycles(&self) -> u64 {
-        self.ii_cycles() + ceil_log2(self.simd) as u64
+        self.ii_cycles() + ceil_log2(self.simd()) as u64
     }
 
     /// Exact accumulator format.
@@ -132,9 +264,10 @@ pub struct MvauScratch {
     /// symbol-major output layout in one pass (unit-stride writes in
     /// both stages).
     outp: Vec<i64>,
-    /// 32-bit twins of `tr`/`acc` for the narrow-format fast path.
+    /// Narrowed (`i32`) symbol-major inputs for the fast path —
+    /// accumulators and outputs live in SIMD registers there, so this
+    /// is the fast path's only buffer.
     tr32: Vec<i32>,
-    acc32: Vec<i32>,
 }
 
 impl MvauScratch {
@@ -145,7 +278,6 @@ impl MvauScratch {
             acc: Vec::new(),
             outp: Vec::new(),
             tr32: Vec::new(),
-            acc32: Vec::new(),
         }
     }
 }
@@ -161,6 +293,117 @@ impl Default for MvauScratch {
 /// granularity).
 const TILE: usize = hybridem_comm::demapper::BLOCK_TILE;
 
+/// The activation + cast of the 32-bit fast path, reduced to pure
+/// integer shift/clamp lane arithmetic. Bit-identical to the `Fx`
+/// reference: `ReluShr` is saturate → max(0,·) → `Rounding::Truncate`
+/// right shift → output saturation, `LinearShr` is saturate →
+/// `Rounding::Nearest` right shift (ties away from zero) → output
+/// saturation — exactly [`Mvau::apply_activation`] term for term for
+/// formats whose fraction bits do not grow across the cast.
+#[derive(Clone, Copy, Debug)]
+enum FastEpilogue {
+    /// ReLU then truncating cast, dropping `shift` fraction bits.
+    ReluShr {
+        /// `acc_frac − out_frac`.
+        shift: u32,
+    },
+    /// Linear (cast-only) with round-to-nearest, ties away from zero.
+    LinearShr {
+        /// `acc_frac − out_frac`.
+        shift: u32,
+    },
+}
+
+/// Precomputed 32-bit fast path: present when every accumulation
+/// provably fits an `i32` (the accumulator format's guard bits plus
+/// one headroom bit stay under 31 bits), the output raw range fits an
+/// `i32`, and the activation reduces to [`FastEpilogue`] integer
+/// arithmetic. The block kernel then runs 32-bit SIMD MACs (twice the
+/// lanes of the 64-bit path, single-instruction vector multiplies)
+/// with results identical to the 64-bit `Fx` path: exact integer
+/// arithmetic is exact at any width that never overflows.
+#[derive(Clone, Debug)]
+struct FastPlan {
+    /// `i32` copy of the weights, `out_dim × in_dim` row-major (the
+    /// scalar-remainder layout).
+    weights32: Vec<i32>,
+    /// `i32` weights transposed to `in_dim × out_dim` (column-major in
+    /// the row-major world): at feature `i`, the weights of `N`
+    /// consecutive neurons are one contiguous vector load — the layout
+    /// the output-stationary kernel streams.
+    wcolmaj: Vec<i32>,
+    /// `i32` copy of the biases (accumulator-format raw values).
+    bias32: Vec<i32>,
+    epilogue: FastEpilogue,
+    /// Accumulator saturation bounds (`acc_format` range).
+    acc_lo: i32,
+    acc_hi: i32,
+    /// Output saturation bounds (`out_format` range).
+    out_lo: i32,
+    out_hi: i32,
+}
+
+/// The register-resident copy of a [`FastPlan`]'s epilogue scalars —
+/// `Copy`, so the kernel hoists one value load instead of re-reading
+/// plan fields through a reference inside the hot loop.
+#[derive(Clone, Copy, Debug)]
+struct Epilogue {
+    mode: FastEpilogue,
+    acc_lo: i32,
+    acc_hi: i32,
+    out_lo: i32,
+    out_hi: i32,
+}
+
+impl Epilogue {
+    /// One accumulator lane through saturate → activation → cast →
+    /// output saturation. `#[inline(always)]` so the lane ops fuse
+    /// into the MAC kernel's vector loop.
+    #[inline(always)]
+    fn apply_lanes<const N: usize>(self, acc: Simd<i32, N>) -> Simd<i32, N> {
+        let a = acc.clamp(self.acc_lo, self.acc_hi);
+        let a = match self.mode {
+            FastEpilogue::ReluShr { shift } => {
+                let r = a.relu();
+                if shift == 0 {
+                    r
+                } else {
+                    r.shr(shift)
+                }
+            }
+            FastEpilogue::LinearShr { shift } => {
+                if shift == 0 {
+                    a
+                } else {
+                    a.round_shr_nearest(shift)
+                }
+            }
+        };
+        a.clamp(self.out_lo, self.out_hi)
+    }
+
+    /// Scalar twin of [`Epilogue::apply_lanes`] for remainder lanes —
+    /// same operations, same order, bit-identical.
+    #[inline(always)]
+    fn apply_scalar(self, acc: i32) -> i32 {
+        self.apply_lanes(Simd::<i32, 1>([acc])).0[0]
+    }
+}
+
+impl FastPlan {
+    /// The epilogue scalars as a `Copy` bundle for the kernel.
+    #[inline(always)]
+    fn epilogue(&self) -> Epilogue {
+        Epilogue {
+            mode: self.epilogue,
+            acc_lo: self.acc_lo,
+            acc_hi: self.acc_hi,
+            out_lo: self.out_lo,
+            out_hi: self.out_hi,
+        }
+    }
+}
+
 /// A configured MVAU holding quantised weights.
 #[derive(Clone, Debug)]
 pub struct Mvau {
@@ -170,13 +413,181 @@ pub struct Mvau {
     weights: Vec<i64>,
     /// Raw biases in the accumulator format.
     biases: Vec<i64>,
-    /// 32-bit copy of the weights when every possible accumulation —
-    /// bias plus the worst-case product sum — provably fits an `i32`.
-    /// The block kernel then runs 32-bit MACs (twice the SIMD lanes,
-    /// single-instruction vector multiplies) with results identical to
-    /// the 64-bit path: exact integer arithmetic is exact at any width
-    /// that never overflows.
-    weights32: Option<Vec<i32>>,
+    /// 32-bit SIMD fast path when the formats allow it.
+    fast: Option<FastPlan>,
+}
+
+/// The 32-bit MAC + epilogue kernel over one symbol-major tile,
+/// width-generic and dispatched at the probed [`simd::LaneWidth`].
+///
+/// Output-stationary, neuron-lane layout: each vector lane holds one
+/// output neuron's accumulator, so a chunk of `N` neurons streams the
+/// column-major weight plane (`FastPlan::wcolmaj`) with one contiguous
+/// load per feature while the symbol's input value broadcasts — no
+/// input or output transpose exists anywhere, and the activated lanes
+/// widen straight into the symbol-major output slice. `SYM_BLOCK`
+/// symbols run concurrently to hide the MAC latency chain (their
+/// accumulators are independent).
+///
+/// Loop structure follows the MVAU folding schedule: outputs in
+/// groups of `pe` (one pass over the inputs per group), inputs in
+/// beats of `simd` inside that pass — the software mirror of the
+/// hardware's `(in/simd)·(out/pe)` beat count. The accumulation order
+/// per `(symbol, neuron)` is ascending feature index at every folding,
+/// width and symbol block, so results are bit-identical to the scalar
+/// reference.
+struct MacKernel32<'a> {
+    /// Symbol-major raw inputs, `nt × in_dim` (64-bit; narrowed into
+    /// `xn` inside the kernel so the conversion also runs under the
+    /// dispatch trampoline's ISA).
+    inputs: &'a [i64],
+    /// Narrowed-input scratch, resized to `nt · in_dim` by the kernel.
+    xn: &'a mut Vec<i32>,
+    /// Symbol-major raw outputs, `nt × out_dim`.
+    out: &'a mut [i64],
+    in_dim: usize,
+    out_dim: usize,
+    pe: usize,
+    simd: usize,
+    plan: &'a FastPlan,
+}
+
+/// Symbols processed concurrently per vector micro-block (independent
+/// accumulator registers that hide the integer MAC latency chain).
+const SYM_BLOCK: usize = 4;
+
+impl MacKernel32<'_> {
+    /// One block of `S` symbols × `N` neurons (`ov..ov + N`): MACs over
+    /// features `ib..ib + ibn`, then (on the last beat) epilogue and
+    /// widening store. `#[inline(always)]` so each (S, N)
+    /// instantiation gets constant trip counts and register-resident
+    /// accumulators.
+    ///
+    /// (The slice indexing stays bounds-checked on purpose: the checks
+    /// are cheap next to the vector MACs, and their branches keep
+    /// LLVM's unroller from reassociating the accumulator chain into
+    /// spilled partial sums — measured ~10× faster than the
+    /// `get_unchecked` variant on AVX-512.)
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // flat scalars keep the hot path register-resident
+    fn micro_block<const N: usize, const S: usize>(
+        ep: Epilogue,
+        wcolmaj: &[i32],
+        xn: &[i32],
+        out: &mut [i64],
+        in_dim: usize,
+        out_dim: usize,
+        ov: usize,
+        s: usize,
+        acc: &mut [Simd<i32, N>; S],
+        ib: usize,
+        ibn: usize,
+    ) {
+        // Exact-length row slices: the `xr[j][k]` bound (`k < ibn`)
+        // is provable, so the inner loop keeps only the weight-column
+        // check.
+        let xr: [&[i32]; S] =
+            std::array::from_fn(|j| &xn[(s + j) * in_dim + ib..(s + j) * in_dim + ib + ibn]);
+        for (k, i) in (ib..ib + ibn).enumerate() {
+            let col = Simd::<i32, N>::load(&wcolmaj[i * out_dim + ov..]);
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a = a.mul_add(col, Simd::<i32, N>::splat(xr[j][k]));
+            }
+        }
+        // Last beat of the input pass for this symbol block: activate
+        // and widen straight into the symbol-major output.
+        if ib + ibn == in_dim {
+            for (j, a) in acc.iter().enumerate() {
+                ep.apply_lanes(*a)
+                    .store_widened(&mut out[(s + j) * out_dim + ov..]);
+            }
+        }
+    }
+}
+
+impl SimdKernel for MacKernel32<'_> {
+    type Output = ();
+
+    fn run<const N: usize>(self) {
+        let MacKernel32 {
+            inputs,
+            xn,
+            out,
+            in_dim,
+            out_dim,
+            pe,
+            simd,
+            plan,
+        } = self;
+        let nt = inputs.len() / in_dim;
+        xn.resize(nt * in_dim, 0);
+        for (slot, &x) in xn.iter_mut().zip(inputs) {
+            *slot = x as i32;
+        }
+        let ep = plan.epilogue();
+        let s_full = nt - nt % SYM_BLOCK;
+        for og in (0..out_dim).step_by(pe) {
+            let ope = pe.min(out_dim - og);
+            let v_end = og + ope - ope % N;
+            for ov in (og..v_end).step_by(N) {
+                let bias = Simd::<i32, N>::load(&plan.bias32[ov..]);
+                let mut s = 0;
+                while s < s_full {
+                    let mut acc = [bias; SYM_BLOCK];
+                    for ib in (0..in_dim).step_by(simd) {
+                        let ibn = simd.min(in_dim - ib);
+                        Self::micro_block::<N, SYM_BLOCK>(
+                            ep,
+                            &plan.wcolmaj,
+                            xn,
+                            out,
+                            in_dim,
+                            out_dim,
+                            ov,
+                            s,
+                            &mut acc,
+                            ib,
+                            ibn,
+                        );
+                    }
+                    s += SYM_BLOCK;
+                }
+                // Remainder symbols, one at a time: same beats, same
+                // per-(symbol, neuron) accumulation order.
+                for s in s_full..nt {
+                    let mut acc = [bias; 1];
+                    for ib in (0..in_dim).step_by(simd) {
+                        let ibn = simd.min(in_dim - ib);
+                        Self::micro_block::<N, 1>(
+                            ep,
+                            &plan.wcolmaj,
+                            xn,
+                            out,
+                            in_dim,
+                            out_dim,
+                            ov,
+                            s,
+                            &mut acc,
+                            ib,
+                            ibn,
+                        );
+                    }
+                }
+            }
+            // Neuron remainder (`ope % N` tail of the PE group):
+            // scalar row-major MACs, identical fan-in order.
+            for o in v_end..og + ope {
+                let row = &plan.weights32[o * in_dim..(o + 1) * in_dim];
+                for s in 0..nt {
+                    let mut a = plan.bias32[o];
+                    for (i, &w) in row.iter().enumerate() {
+                        a += w * xn[s * in_dim + i];
+                    }
+                    out[s * out_dim + o] = ep.apply_scalar(a) as i64;
+                }
+            }
+        }
+    }
 }
 
 impl Mvau {
@@ -211,23 +622,71 @@ impl Mvau {
         // sum is bounded by 2·acc_max < 2^(acc_bits+1): one extra bit
         // of headroom suffices.
         // (acc_bits + 1 headroom bits must fit the 31 value bits of i32)
-        let weights32 = if acc.total_bits < 31 {
-            Some(weights.iter().map(|&w| w as i32).collect())
-        } else {
-            None
+        let epilogue = match &activation {
+            HwActivation::Relu if cfg.out_format.frac_bits <= acc.frac_bits => {
+                Some(FastEpilogue::ReluShr {
+                    shift: acc.frac_bits - cfg.out_format.frac_bits,
+                })
+            }
+            HwActivation::Linear if cfg.out_format.frac_bits <= acc.frac_bits => {
+                Some(FastEpilogue::LinearShr {
+                    shift: acc.frac_bits - cfg.out_format.frac_bits,
+                })
+            }
+            // Sigmoid LUTs and fraction-growing casts stay on the
+            // 64-bit Fx path.
+            _ => None,
+        };
+        let fast = match epilogue {
+            Some(epilogue) if acc.total_bits < 31 && cfg.out_format.total_bits < 31 => {
+                let mut wcolmaj = vec![0i32; cfg.in_dim * cfg.out_dim];
+                for o in 0..cfg.out_dim {
+                    for i in 0..cfg.in_dim {
+                        wcolmaj[i * cfg.out_dim + o] = weights[o * cfg.in_dim + i] as i32;
+                    }
+                }
+                Some(FastPlan {
+                    weights32: weights.iter().map(|&w| w as i32).collect(),
+                    wcolmaj,
+                    bias32: biases.iter().map(|&b| b as i32).collect(),
+                    epilogue,
+                    acc_lo: acc.raw_min() as i32,
+                    acc_hi: acc.raw_max() as i32,
+                    out_lo: cfg.out_format.raw_min() as i32,
+                    out_hi: cfg.out_format.raw_max() as i32,
+                })
+            }
+            _ => None,
         };
         Self {
             cfg,
             activation,
             weights,
             biases,
-            weights32,
+            fast,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &MvauConfig {
         &self.cfg
+    }
+
+    /// Whether the i32 SIMD fast path is active for this layer (narrow
+    /// enough formats and a shift-expressible activation cast).
+    pub fn has_fast_path(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// The same quantised layer under a different folding. Results are
+    /// bit-identical (folding only reshapes the schedule); the
+    /// resource/latency model and the software kernel's loop structure
+    /// change together.
+    pub fn refold(&self, folding: Folding) -> Result<Mvau, FoldingError> {
+        folding.validate_for(self.cfg.in_dim, self.cfg.out_dim)?;
+        let mut m = self.clone();
+        m.cfg.folding = folding;
+        Ok(m)
     }
 
     /// The quantised weights as dequantised f32s (`out × in`) — what
@@ -283,6 +742,22 @@ impl Mvau {
     /// across a contiguous plane of symbols (unit-stride MACs), and
     /// nothing allocates once `scratch` is warm.
     pub fn process_block_into(&self, inputs: &[i64], out: &mut [i64], scratch: &mut MvauScratch) {
+        self.process_block_into_at(LaneWidth::detect(), inputs, out, scratch);
+    }
+
+    /// [`Mvau::process_block_into`] pinned to an explicit
+    /// [`LaneWidth`] — the hook the property tests use to prove the
+    /// fast-path kernel bit-exact at every supported width. Results
+    /// never depend on `width`; hot paths should use
+    /// [`Mvau::process_block_into`], which dispatches at the probed
+    /// width.
+    pub fn process_block_into_at(
+        &self,
+        width: LaneWidth,
+        inputs: &[i64],
+        out: &mut [i64],
+        scratch: &mut MvauScratch,
+    ) {
         let in_dim = self.cfg.in_dim;
         let out_dim = self.cfg.out_dim;
         assert!(
@@ -297,41 +772,36 @@ impl Mvau {
             .zip(out.chunks_mut(TILE * out_dim))
         {
             let nt = in_tile.len() / in_dim;
-            scratch.outp.resize(out_dim * nt, 0);
-            if let Some(w32) = &self.weights32 {
-                // Narrow fast path: 32-bit MACs, provably exact (see
-                // the `weights32` invariant).
-                scratch.tr32.resize(in_dim * nt, 0);
-                for (s, sym) in in_tile.chunks_exact(in_dim).enumerate() {
-                    for (i, &x) in sym.iter().enumerate() {
-                        scratch.tr32[i * nt + s] = x as i32;
-                    }
-                }
-                scratch.acc32.resize(nt, 0);
-                scratch.acc.resize(nt, 0);
-                for o in 0..out_dim {
-                    let row = &w32[o * in_dim..(o + 1) * in_dim];
-                    scratch.acc32.fill(self.biases[o] as i32);
-                    for (i, &w) in row.iter().enumerate() {
-                        let plane = &scratch.tr32[i * nt..(i + 1) * nt];
-                        for (a, &x) in scratch.acc32.iter_mut().zip(plane) {
-                            *a += w * x;
-                        }
-                    }
-                    for (d, &a) in scratch.acc.iter_mut().zip(&scratch.acc32) {
-                        *d = acc_fmt.saturate(a as i64).0;
-                    }
-                    let oplane = &mut scratch.outp[o * nt..(o + 1) * nt];
-                    self.apply_activation_plane(acc_fmt, &scratch.acc, oplane);
-                }
+            if let Some(plan) = &self.fast {
+                // Narrow fast path: 32-bit output-stationary SIMD MACs
+                // + integer epilogue, provably exact (see
+                // [`FastPlan`]), at the lane width probed by
+                // `mathkit::simd`. Inputs and outputs stay
+                // symbol-major; no transposes.
+                simd::dispatch_at(
+                    width,
+                    MacKernel32 {
+                        inputs: in_tile,
+                        xn: &mut scratch.tr32,
+                        out: out_tile,
+                        in_dim,
+                        out_dim,
+                        pe: self.cfg.pe(),
+                        simd: self.cfg.simd(),
+                        plan,
+                    },
+                );
             } else {
-                // Wide path: 64-bit MACs over the transposed planes.
+                // Wide path: 64-bit MACs over the transposed planes,
+                // with the Fx-based activation epilogue (sigmoid LUTs,
+                // fraction-growing casts, >30-bit accumulators).
                 scratch.tr.resize(in_dim * nt, 0);
                 for (s, sym) in in_tile.chunks_exact(in_dim).enumerate() {
                     for (i, &x) in sym.iter().enumerate() {
                         scratch.tr[i * nt + s] = x;
                     }
                 }
+                scratch.outp.resize(out_dim * nt, 0);
                 scratch.acc.resize(nt, 0);
                 for o in 0..out_dim {
                     let row = &self.weights[o * in_dim..(o + 1) * in_dim];
@@ -348,11 +818,11 @@ impl Mvau {
                     let oplane = &mut scratch.outp[o * nt..(o + 1) * nt];
                     self.apply_activation_plane(acc_fmt, &scratch.acc, oplane);
                 }
-            }
-            // Neuron-major → symbol-major in one pass.
-            for (s, sym) in out_tile.chunks_exact_mut(out_dim).enumerate() {
-                for (o, slot) in sym.iter_mut().enumerate() {
-                    *slot = scratch.outp[o * nt + s];
+                // Neuron-major → symbol-major in one pass.
+                for (s, sym) in out_tile.chunks_exact_mut(out_dim).enumerate() {
+                    for (o, slot) in sym.iter_mut().enumerate() {
+                        *slot = scratch.outp[o * nt + s];
+                    }
                 }
             }
         }
@@ -416,43 +886,46 @@ impl Mvau {
                 lut: 6,
                 ..Default::default()
             })
-        .times((cfg.pe * cfg.simd) as u64);
+        .times((cfg.pe() * cfg.simd()) as u64);
         // Per-PE SIMD adder tree at accumulator width.
-        r += resources::reduction_tree(cfg.simd, resources::adder(acc.total_bits))
-            .times(cfg.pe as u64);
+        r += resources::reduction_tree(cfg.simd(), resources::adder(acc.total_bits))
+            .times(cfg.pe() as u64);
         // Per-PE fold accumulator (register + adder) when input folds.
-        if cfg.simd < cfg.in_dim {
+        if cfg.simd() < cfg.in_dim {
             r += (resources::adder(acc.total_bits) + resources::register(acc.total_bits))
-                .times(cfg.pe as u64);
+                .times(cfg.pe() as u64);
         }
         // Weight memory: per-PE partitions. Writable memories (needed by
         // on-chip retraining) are forced to BRAM with half-BRAM minimum
         // granularity per PE — the FINN weight-streamer layout.
         let bits_per_pe =
-            (cfg.in_dim * cfg.out_dim / cfg.pe) as u64 * cfg.weight_format.total_bits as u64;
+            (cfg.in_dim * cfg.out_dim / cfg.pe()) as u64 * cfg.weight_format.total_bits as u64;
         if cfg.writable_weights {
             let per_pe = (bits_per_pe as f64 / 18_432.0).ceil().max(1.0) * 0.5;
             r += ResourceUsage {
-                bram36: per_pe * cfg.pe as f64,
+                bram36: per_pe * cfg.pe() as f64,
                 ..Default::default()
             };
         } else {
-            r += resources::memory(bits_per_pe, cfg.weight_format.total_bits * cfg.simd as u32)
-                .times(cfg.pe as u64);
+            r += resources::memory(
+                bits_per_pe,
+                cfg.weight_format.total_bits * cfg.simd() as u32,
+            )
+            .times(cfg.pe() as u64);
         }
         // Activation units per PE.
         match &self.activation {
             HwActivation::Relu => {
-                r += resources::comparator(acc.total_bits).times(cfg.pe as u64);
-                r += resources::mux2(cfg.out_format.total_bits).times(cfg.pe as u64);
+                r += resources::comparator(acc.total_bits).times(cfg.pe() as u64);
+                r += resources::mux2(cfg.out_format.total_bits).times(cfg.pe() as u64);
             }
             HwActivation::Sigmoid(lut) => {
-                r += lut.resources().times(cfg.pe as u64);
+                r += lut.resources().times(cfg.pe() as u64);
             }
             HwActivation::Linear => {}
         }
         // Output registers and fold-control counters.
-        r += resources::register(cfg.out_format.total_bits).times(cfg.pe as u64);
+        r += resources::register(cfg.out_format.total_bits).times(cfg.pe() as u64);
         r += ResourceUsage {
             lut: 40 + 8 * (ceil_log2(cfg.ii_cycles().max(2) as usize) as u64),
             ff: 24,
@@ -497,8 +970,7 @@ mod tests {
         let cfg = MvauConfig {
             in_dim: 4,
             out_dim: 2,
-            simd,
-            pe,
+            folding: Folding::new(pe, simd),
             weight_format: fmt8_6(),
             in_format: fmt8_6(),
             out_format: fmt8_6(),
@@ -589,8 +1061,7 @@ mod tests {
         assert_eq!(full.ii_cycles(), 1);
         assert_eq!(full.depth_cycles(), 1 + 4);
         let folded = MvauConfig {
-            simd: 4,
-            pe: 4,
+            folding: Folding::new(4, 4),
             ..full
         };
         assert_eq!(folded.ii_cycles(), 16);
@@ -618,8 +1089,7 @@ mod tests {
             let cfg = MvauConfig {
                 in_dim: 16,
                 out_dim: 16,
-                simd,
-                pe,
+                folding: Folding::new(pe, simd),
                 weight_format: fmt8_6(),
                 in_format: fmt8_6(),
                 out_format: fmt8_6(),
@@ -654,8 +1124,7 @@ mod tests {
             let cfg = MvauConfig {
                 in_dim: 16,
                 out_dim: 16,
-                simd: 16,
-                pe: 16,
+                folding: Folding::full(16, 16),
                 weight_format: fmt8_6(),
                 in_format: fmt8_6(),
                 out_format: fmt8_6(),

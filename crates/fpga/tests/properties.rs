@@ -5,7 +5,7 @@ use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::Demapper;
 use hybridem_fixed::{QFormat, Rounding};
 use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
-use hybridem_fpga::mvau::{HwActivation, Mvau, MvauConfig};
+use hybridem_fpga::mvau::{Folding, HwActivation, Mvau, MvauConfig};
 use hybridem_fpga::pipeline::{ExecutionMode, PipelineTiming, StageTiming};
 use hybridem_fpga::power::PowerModel;
 use hybridem_fpga::resources::ResourceUsage;
@@ -89,7 +89,7 @@ proptest! {
         for &simd in &divisors(in_dim) {
             for &pe in &divisors(out_dim) {
                 let cfg = MvauConfig {
-                    in_dim, out_dim, simd, pe,
+                    in_dim, out_dim, folding: Folding::new(pe, simd),
                     weight_format: fmt, in_format: fmt, out_format: fmt,
                     writable_weights: false,
                 };
@@ -138,7 +138,7 @@ proptest! {
         for &simd in &divisors(in_dim) {
             for &pe in &divisors(out_dim) {
                 let cfg = MvauConfig {
-                    in_dim, out_dim, simd, pe,
+                    in_dim, out_dim, folding: Folding::new(pe, simd),
                     weight_format: fmt, in_format: fmt, out_format: fmt,
                     writable_weights: false,
                 };
@@ -209,6 +209,58 @@ proptest! {
             .collect();
         for &o in &m.process(&input) {
             prop_assert!(o >= 0);
+        }
+    }
+}
+
+proptest! {
+    // Width × format sweep of the SIMD fast path: few cases, each
+    // re-run at every supported lane width (the kernel is
+    // deterministic per (width, input)).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn mvau_block_bit_exact_at_every_lane_width_and_weight_width(seed in any::<u64>()) {
+        // The SIMD MAC kernel's contract (DESIGN.md §11): the i32
+        // fast path — output-stationary MACs plus the branchless
+        // activation epilogue — is bit-identical to the per-symbol
+        // scalar pass at every supported lane width, for W4/W6/W8
+        // formats, ReLU and linear (rounding-cast) epilogues, and
+        // block lengths covering empty input, pure remainders (1, 7),
+        // one full tile (256) and a multi-tile stream with a trailing
+        // remainder (4097, W8 only to bound debug-build time).
+        use hybridem_fpga::mvau::MvauScratch;
+        use hybridem_mathkit::simd::LaneWidth;
+        let combos = [
+            (QFormat::signed(4, 2), HwActivation::Relu),
+            (QFormat::signed(6, 4), HwActivation::Linear),
+            (QFormat::signed(8, 6), HwActivation::Relu),
+            (QFormat::signed(8, 6), HwActivation::Linear),
+        ];
+        for (fmt, act) in combos {
+            let (w, b) = random_dense(16, 16, seed ^ u64::from(fmt.total_bits));
+            let cfg = MvauConfig::full_parallel(16, 16, fmt, fmt, fmt, false);
+            let m = Mvau::from_dense(cfg, &w, &b, act);
+            prop_assert!(m.has_fast_path(), "pinned shapes must stay on the fast path");
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 99);
+            let full_len = if fmt.total_bits == 8 { 4097 } else { 256 };
+            let inputs: Vec<i64> = (0..full_len * 16)
+                .map(|_| fmt.raw_from_f64(rng.normal_f64() * 0.5, Rounding::Nearest))
+                .collect();
+            let mut scratch = MvauScratch::new();
+            for &n in &[0usize, 1, 7, 256, full_len] {
+                let tile = &inputs[..n * 16];
+                let mut reference = vec![0i64; n * 16];
+                for (sym, slot) in tile.chunks_exact(16).zip(reference.chunks_exact_mut(16)) {
+                    m.process_into(sym, slot);
+                }
+                for width in LaneWidth::supported() {
+                    let mut got = vec![0i64; n * 16];
+                    m.process_block_into_at(width, tile, &mut got, &mut scratch);
+                    prop_assert_eq!(&got, &reference,
+                        "n {} width {:?} fmt W{}", n, width, fmt.total_bits);
+                }
+            }
         }
     }
 }

@@ -14,6 +14,8 @@
 //!   baselines), numerically stable sigmoid/softplus/log-sum-exp;
 //! - [`rng`] — deterministic, splittable random number generation
 //!   (SplitMix64 seeding, xoshiro256++ streams, Gaussian sampling);
+//! - [`simd`] — portable fixed-width SIMD lanes with runtime width
+//!   dispatch (the substrate of the MVAU and demapper block kernels);
 //! - [`json`] — from-scratch JSON tree, parser and serialiser backing
 //!   model checkpoints and experiment artefacts.
 //!
@@ -29,6 +31,7 @@ pub mod linsolve;
 pub mod matrix;
 pub mod real;
 pub mod rng;
+pub mod simd;
 pub mod special;
 pub mod stats;
 pub mod vec2;
