@@ -18,6 +18,7 @@
 //! | `ablation_grid` | (ext.) extraction-grid resolution |
 //! | `ablation_trigger` | (ext.) retrain-trigger detection latency |
 //! | `perf` | (infra) perf-regression gate over the SIMD kernels, trajectories in `BENCH_*.json` |
+//! | `linkserver` | (infra) many-link serving saturation curves (workers × batch), trajectory in `BENCH_linkserver.json` |
 
 #![warn(missing_docs)]
 

@@ -25,8 +25,10 @@
 //! deployment through the shared integer IR (DESIGN.md §9);
 //! [`runtime`] streams frames through scripted time-varying channels
 //! and exercises the full trigger→retrain→redeploy loop online
-//! (DESIGN.md §10); [`viz`] renders decision regions (Fig. 3) as
-//! ASCII/PGM.
+//! (DESIGN.md §10); [`server`] multiplexes thousands of independent
+//! link sessions over a work-stealing pool with cross-link batched
+//! demapping (DESIGN.md §12); [`viz`] renders decision regions
+//! (Fig. 3) as ASCII/PGM.
 
 #![warn(missing_docs)]
 
@@ -43,6 +45,7 @@ pub mod pipeline;
 pub mod qat;
 pub mod retrain;
 pub mod runtime;
+pub mod server;
 pub mod viz;
 
 pub use config::SystemConfig;

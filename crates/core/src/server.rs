@@ -1,0 +1,981 @@
+//! Many-link serving fabric: thousands of independent link sessions
+//! multiplexed over a bounded work-stealing pool, with **cross-link
+//! batched demapping** (DESIGN.md §12).
+//!
+//! [`crate::runtime`] simulates links one campaign at a time; the
+//! ROADMAP north star is serving millions of concurrent users, which
+//! is a different shape of problem: sessions open and close
+//! continuously, load is imbalanced, and the SIMD / integer-graph
+//! demap kernels (DESIGN.md §11) only pay for themselves when fed
+//! large contiguous blocks. [`LinkServer`] owns per-session state in a
+//! generation-checked slab, admits frame work through bounded queues
+//! with explicit backpressure ([`Admit::Shed`]), and serves rounds on
+//! a [`StealPool`] so hot links spread across workers instead of
+//! pinning a static partition. The hot path gathers ready symbols
+//! across sessions of the same backend into contiguous buffers, issues
+//! **one** [`Demapper::demap_block`] call per batch of up to
+//! [`ServerCfg::batch_links`] links, and scatters the LLR spans back
+//! into per-session monitor state.
+//!
+//! What is and is not deterministic: scheduling is not — tasks run on
+//! arbitrary workers in arbitrary order. The *report* is: every
+//! session draws from its own seeded RNG stream, `demap_block` is
+//! bit-exact against the per-symbol reference (so LLRs are independent
+//! of which batch a symbol landed in), per-session statistics are
+//! integer counts, and [`LinkServer::aggregate`] folds them in slab
+//! order. The aggregate artefact is therefore byte-identical at any
+//! worker count and any batch size — pinned by the root
+//! `linkserver` integration test.
+//!
+//! Steady state allocates nothing (extends the PR 4 counting-allocator
+//! contract to the gather/scatter path): session buffers, the plan
+//! scratch, the gather buffers and the pool's deques all reuse their
+//! capacity after a warmup round. The one documented exception is ECC
+//! monitoring — [`ConvCode::encode`] / [`Viterbi::decode_soft`]
+//! allocate internally, so the no-alloc contract is stated (and
+//! tested) for pilot-monitored sessions.
+
+use crate::runtime::Monitor;
+use hybridem_comm::channel::Channel;
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::Demapper;
+use hybridem_comm::ecc::{ConvCode, Viterbi};
+use hybridem_comm::trajectory::{Trajectory, TrajectoryChannel};
+use hybridem_mathkit::complex::C32;
+use hybridem_mathkit::json::{FromJson, Json, JsonError};
+use hybridem_mathkit::rng::{Rng64, Xoshiro256pp};
+use hybridem_parallel::{num_threads, StealPool};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Server shape: worker count, per-session queue bound, batch width.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCfg {
+    /// Pool participants including the serving thread (≥ 1).
+    pub workers: usize,
+    /// Maximum frames a session may have queued; a `submit` that would
+    /// exceed it is shed whole (never partially enqueued).
+    pub queue_cap: u32,
+    /// Maximum links gathered into one `demap_block` call. `1`
+    /// degenerates to per-link demap calls — the honest unbatched
+    /// baseline the saturation bench compares against.
+    pub batch_links: usize,
+}
+
+impl Default for ServerCfg {
+    fn default() -> Self {
+        Self {
+            workers: num_threads(),
+            queue_cap: 64,
+            batch_links: 256,
+        }
+    }
+}
+
+/// Handle to a registered (constellation, demapper) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BackendId(u32);
+
+/// Generation-checked session handle. Slab slots are reused after
+/// [`LinkServer::close_session`], but the slot's generation is bumped
+/// on close, so a stale handle held past the close is rejected with
+/// [`SessionError::Stale`] instead of silently addressing the new
+/// tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    index: u32,
+    generation: u32,
+}
+
+/// Admission verdict of [`LinkServer::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// The frames were enqueued.
+    Accepted,
+    /// The bounded queue would overflow: nothing was enqueued and the
+    /// shed frames were counted in the session's statistics. The
+    /// caller sees backpressure explicitly instead of an unbounded
+    /// queue absorbing it.
+    Shed,
+}
+
+/// A session handle failed the slab check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The handle's slot is empty, out of range, or reused by a newer
+    /// session (generation mismatch).
+    Stale,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stale => write!(f, "stale session id (closed or never opened)"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Everything needed to open one serving session.
+#[derive(Clone, Debug)]
+pub struct SessionCfg {
+    /// Which registered backend demaps this session's frames.
+    pub backend: BackendId,
+    /// The session's scripted channel (held at its final state past
+    /// the script's end, so long-lived sessions keep streaming).
+    pub trajectory: Trajectory,
+    /// Seed of the session's private RNG stream.
+    pub seed: u64,
+    /// Symbols per frame.
+    pub frame_symbols: usize,
+    /// Known pilot symbols at the start of every frame.
+    pub pilot_symbols: usize,
+    /// Which evidence the per-session monitor accumulates.
+    pub monitor: Monitor,
+}
+
+impl SessionCfg {
+    /// Session with the default frame geometry (256 symbols, 64
+    /// pilots, pilot monitoring).
+    pub fn new(backend: BackendId, trajectory: Trajectory, seed: u64) -> Self {
+        Self {
+            backend,
+            trajectory,
+            seed,
+            frame_symbols: 256,
+            pilot_symbols: 64,
+            monitor: Monitor::Pilot,
+        }
+    }
+}
+
+/// Integer-only per-session counters. Deliberately no floating-point
+/// accumulation: integer sums merge order-independently, which is what
+/// makes the aggregate report byte-identical across worker counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Frames served.
+    pub frames: u64,
+    /// Payload bits transmitted.
+    pub payload_bits: u64,
+    /// Payload bit errors (raw demapped decisions, before ECC).
+    pub payload_bit_errors: u64,
+    /// Pilot bits transmitted.
+    pub pilot_bits: u64,
+    /// Pilot bit errors.
+    pub pilot_bit_errors: u64,
+    /// Channel bits the Viterbi decoder corrected (ECC monitor only).
+    pub ecc_corrected: u64,
+    /// Frames refused by admission control.
+    pub shed_frames: u64,
+}
+
+impl SessionStats {
+    /// Adds `other` into `self` (associative + commutative: all
+    /// fields are counts).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.frames += other.frames;
+        self.payload_bits += other.payload_bits;
+        self.payload_bit_errors += other.payload_bit_errors;
+        self.pilot_bits += other.pilot_bits;
+        self.pilot_bit_errors += other.pilot_bit_errors;
+        self.ecc_corrected += other.ecc_corrected;
+        self.shed_frames += other.shed_frames;
+    }
+
+    /// Payload BER (0 when no payload was served — never NaN).
+    pub fn ber(&self) -> f64 {
+        if self.payload_bits == 0 {
+            0.0
+        } else {
+            self.payload_bit_errors as f64 / self.payload_bits as f64
+        }
+    }
+}
+
+/// Slab-order fold of every session's counters (open + closed), plus
+/// server-level counts. All fields are integers, so the serialised
+/// artefact is byte-identical across worker counts and batch sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregateReport {
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Sessions closed over the server's lifetime.
+    pub sessions_closed: u64,
+    /// Serving rounds executed.
+    pub rounds: u64,
+    /// Frames served.
+    pub frames: u64,
+    /// Payload bits transmitted.
+    pub payload_bits: u64,
+    /// Payload bit errors.
+    pub payload_bit_errors: u64,
+    /// Pilot bits transmitted.
+    pub pilot_bits: u64,
+    /// Pilot bit errors.
+    pub pilot_bit_errors: u64,
+    /// Viterbi-corrected channel bits (ECC-monitored sessions).
+    pub ecc_corrected: u64,
+    /// Frames refused by admission control.
+    pub shed_frames: u64,
+}
+
+hybridem_mathkit::impl_to_json!(AggregateReport {
+    sessions_open,
+    sessions_closed,
+    rounds,
+    frames,
+    payload_bits,
+    payload_bit_errors,
+    pilot_bits,
+    pilot_bit_errors,
+    ecc_corrected,
+    shed_frames,
+});
+
+impl FromJson for AggregateReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            sessions_open: u64::from_json(v.field("sessions_open")?)?,
+            sessions_closed: u64::from_json(v.field("sessions_closed")?)?,
+            rounds: u64::from_json(v.field("rounds")?)?,
+            frames: u64::from_json(v.field("frames")?)?,
+            payload_bits: u64::from_json(v.field("payload_bits")?)?,
+            payload_bit_errors: u64::from_json(v.field("payload_bit_errors")?)?,
+            pilot_bits: u64::from_json(v.field("pilot_bits")?)?,
+            pilot_bit_errors: u64::from_json(v.field("pilot_bit_errors")?)?,
+            ecc_corrected: u64::from_json(v.field("ecc_corrected")?)?,
+            shed_frames: u64::from_json(v.field("shed_frames")?)?,
+        })
+    }
+}
+
+impl AggregateReport {
+    /// Aggregate payload BER (0 when nothing was served — never NaN).
+    pub fn ber(&self) -> f64 {
+        if self.payload_bits == 0 {
+            0.0
+        } else {
+            self.payload_bit_errors as f64 / self.payload_bits as f64
+        }
+    }
+
+    /// Internal-consistency check: error counts never exceed their bit
+    /// counts. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.payload_bit_errors > self.payload_bits {
+            return Err("more payload errors than bits".to_string());
+        }
+        if self.pilot_bit_errors > self.pilot_bits {
+            return Err("more pilot errors than bits".to_string());
+        }
+        Ok(())
+    }
+}
+
+struct Backend {
+    constellation: Constellation,
+    demapper: Arc<dyn Demapper>,
+}
+
+/// One serving session: private RNG, scripted channel, reused frame
+/// buffers, integer counters. Lives behind a slot `Mutex` so the
+/// parallel phases can lock exactly the sessions of their chunk
+/// (chunks never share a session, so the locks are uncontended).
+struct Session {
+    backend: u32,
+    pilot_symbols: usize,
+    monitor: Monitor,
+    rng: Xoshiro256pp,
+    channel: TrajectoryChannel,
+    code: ConvCode,
+    viterbi: Viterbi,
+    pending: u32,
+    stats: SessionStats,
+    // Reused per-frame scratch (same discipline as OnlineLink): no
+    // allocation after construction for pilot-monitored sessions.
+    tx_syms: Vec<usize>,
+    block: Vec<C32>,
+    llrs: Vec<f32>,
+    tx_bits: Vec<u8>,
+    info: Vec<u8>,
+}
+
+impl Session {
+    /// Builds the next frame into `self.block`: pilot prefix, payload
+    /// (uniform symbols, or a convolutional codeword under ECC
+    /// monitoring), mapping, channel.
+    fn gen_frame(&mut self, constellation: &Constellation) {
+        let m = constellation.bits_per_symbol();
+        let p = self.pilot_symbols;
+        for s in self.tx_syms.iter_mut().take(p) {
+            *s = (self.rng.next_u64() >> (64 - m)) as usize;
+        }
+        if self.monitor == Monitor::Ecc {
+            self.rng.fill_bits(&mut self.info);
+            let coded = self.code.encode(&self.info);
+            for (k, chunk) in coded.chunks(m).enumerate() {
+                self.tx_syms[p + k] = hybridem_comm::bits::pack_bits(chunk);
+            }
+        } else {
+            for s in self.tx_syms.iter_mut().skip(p) {
+                *s = (self.rng.next_u64() >> (64 - m)) as usize;
+            }
+        }
+        for (i, (&u, y)) in self.tx_syms.iter().zip(self.block.iter_mut()).enumerate() {
+            *y = constellation.point(u);
+            for k in 0..m {
+                self.tx_bits[i * m + k] = constellation.bit(u, k);
+            }
+        }
+        self.channel.transmit(&mut self.block, &mut self.rng);
+    }
+
+    /// Consumes one frame's LLRs (wherever they were demapped to):
+    /// hard decisions against the transmitted bits, monitor counters,
+    /// queue decrement.
+    fn finish_frame(&mut self, llrs: &[f32], m: usize) {
+        let n = self.block.len();
+        let p = self.pilot_symbols;
+        debug_assert_eq!(llrs.len(), n * m);
+        let mut pilot_errors = 0u64;
+        let mut payload_errors = 0u64;
+        for (i, (&b, &l)) in self.tx_bits.iter().zip(llrs).enumerate() {
+            let err = u64::from(u8::from(l < 0.0) != b);
+            if i < p * m {
+                pilot_errors += err;
+            } else {
+                payload_errors += err;
+            }
+        }
+        if self.monitor == Monitor::Ecc {
+            let outcome = self.viterbi.decode_soft(&self.code, &llrs[p * m..n * m]);
+            self.stats.ecc_corrected += outcome.corrected;
+        }
+        self.stats.frames += 1;
+        self.stats.payload_bits += ((n - p) * m) as u64;
+        self.stats.payload_bit_errors += payload_errors;
+        self.stats.pilot_bits += (p * m) as u64;
+        self.stats.pilot_bit_errors += pilot_errors;
+        self.pending -= 1;
+    }
+
+    /// The unbatched (batch of one) path: demap straight from the
+    /// session's own buffers — no gather copy, so the per-link
+    /// baseline the saturation bench measures is honest.
+    fn serve_unbatched(&mut self, constellation: &Constellation, demapper: &dyn Demapper) {
+        self.gen_frame(constellation);
+        let llrs = std::mem::take(&mut self.llrs);
+        let mut llrs = llrs;
+        demapper.demap_block(&self.block, &mut llrs);
+        self.finish_frame(&llrs, constellation.bits_per_symbol());
+        self.llrs = llrs;
+    }
+}
+
+struct Slot {
+    generation: u32,
+    session: Option<Mutex<Session>>,
+}
+
+/// A buffer the parallel phases write disjoint ranges of. The usual
+/// split-at-mut discipline doesn't fit here because the disjoint
+/// ranges are computed per task at plan time, so the elements live in
+/// [`UnsafeCell`]s and the splits are hand-checked instead.
+struct SharedBuf<T>(Vec<UnsafeCell<T>>);
+
+// SAFETY: interior access is only through `slice_mut` under its
+// documented disjointness contract; `T: Send` values may be written
+// from any thread.
+unsafe impl<T: Send> Sync for SharedBuf<T> {}
+
+impl<T: Copy + Default> SharedBuf<T> {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Grows to at least `len` elements (plan stage only — requires
+    /// exclusive access). A no-op once the high-water mark is reached,
+    /// keeping the steady state allocation-free.
+    fn ensure_len(&mut self, len: usize) {
+        if self.0.len() < len {
+            self.0.resize_with(len, || UnsafeCell::new(T::default()));
+        }
+    }
+
+    /// Mutable view of `start..start + len`.
+    ///
+    /// # Safety
+    /// Concurrent calls must use disjoint ranges, and no call may
+    /// overlap an `ensure_len`. The serving round guarantees both:
+    /// every range is derived from the plan's prefix sums, each
+    /// session belongs to exactly one chunk, and `ensure_len` runs
+    /// before the pool round starts.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        let cells = &self.0[start..start + len];
+        // `UnsafeCell<T>` is `repr(transparent)` over `T`.
+        std::slice::from_raw_parts_mut(cells.as_ptr() as *mut T, cells.len())
+    }
+}
+
+/// A contiguous run of up to `batch_links` same-backend sessions,
+/// demapped with one `demap_block` call.
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    backend: u32,
+    /// Range into the round's `order` list.
+    start: usize,
+    end: usize,
+    /// This chunk's base offsets into the gather/LLR buffers.
+    sym_base: usize,
+    bit_base: usize,
+}
+
+/// The many-link serving fabric. See the module docs for the
+/// architecture; DESIGN.md §12 for the full design discussion.
+pub struct LinkServer {
+    cfg: ServerCfg,
+    backends: Vec<Backend>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    retired: SessionStats,
+    closed: u64,
+    rounds: u64,
+    pool: StealPool,
+    // Round-plan scratch, reused across rounds (no steady-state
+    // allocation): active slots grouped by backend, their prefix-sum
+    // buffer offsets, the chunk descriptors, and the gather buffers.
+    order: Vec<u32>,
+    offsets: Vec<(usize, usize)>,
+    chunks: Vec<Chunk>,
+    gather: SharedBuf<C32>,
+    gathered_llrs: SharedBuf<f32>,
+}
+
+impl LinkServer {
+    /// Server with the given shape. Spawns `cfg.workers − 1`
+    /// persistent background workers.
+    ///
+    /// # Panics
+    /// Panics if `workers`, `queue_cap` or `batch_links` is zero.
+    pub fn new(cfg: ServerCfg) -> Self {
+        assert!(cfg.workers >= 1, "at least the serving thread");
+        assert!(cfg.queue_cap >= 1, "a zero queue admits nothing");
+        assert!(cfg.batch_links >= 1, "batches gather at least one link");
+        Self {
+            cfg,
+            backends: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            retired: SessionStats::default(),
+            closed: 0,
+            rounds: 0,
+            pool: StealPool::new(cfg.workers),
+            order: Vec::new(),
+            offsets: Vec::new(),
+            chunks: Vec::new(),
+            gather: SharedBuf::new(),
+            gathered_llrs: SharedBuf::new(),
+        }
+    }
+
+    /// The server shape.
+    pub fn cfg(&self) -> &ServerCfg {
+        &self.cfg
+    }
+
+    /// Registers a (constellation, demapper) pair sessions can bind
+    /// to. Backends are shared read-only across all workers.
+    ///
+    /// # Panics
+    /// Panics when the demapper's width disagrees with the
+    /// constellation's, or exceeds the 16-bit symbol cap.
+    pub fn register_backend(
+        &mut self,
+        constellation: Constellation,
+        demapper: Arc<dyn Demapper>,
+    ) -> BackendId {
+        let m = constellation.bits_per_symbol();
+        assert_eq!(
+            m,
+            demapper.bits_per_symbol(),
+            "constellation and demapper disagree on bits/symbol"
+        );
+        assert!(m <= 16, "bits per symbol > 16 unsupported");
+        self.backends.push(Backend {
+            constellation,
+            demapper,
+        });
+        BackendId(self.backends.len() as u32 - 1)
+    }
+
+    /// Opens a session in the slab: a freed slot is reused if one
+    /// exists (its generation already bumped by the close), otherwise
+    /// the slab grows.
+    ///
+    /// # Panics
+    /// Panics on an unknown backend or invalid frame geometry.
+    pub fn open_session(&mut self, cfg: SessionCfg) -> SessionId {
+        let backend = self
+            .backends
+            .get(cfg.backend.0 as usize)
+            .expect("unknown backend id");
+        let m = backend.constellation.bits_per_symbol();
+        let n = cfg.frame_symbols;
+        assert!(n > 0, "frame length must be positive");
+        assert!(cfg.pilot_symbols <= n, "pilots cannot exceed the frame");
+        let payload_bits = (n - cfg.pilot_symbols) * m;
+        let info_len = if cfg.monitor == Monitor::Ecc {
+            assert!(
+                payload_bits.is_multiple_of(2) && payload_bits / 2 > ConvCode::TAIL,
+                "ECC monitoring needs an even payload capacity above the tail"
+            );
+            payload_bits / 2 - ConvCode::TAIL
+        } else {
+            0
+        };
+        let session = Session {
+            backend: cfg.backend.0,
+            pilot_symbols: cfg.pilot_symbols,
+            monitor: cfg.monitor,
+            rng: Xoshiro256pp::stream(cfg.seed, 0),
+            channel: TrajectoryChannel::new(cfg.trajectory, n),
+            code: ConvCode::new(),
+            viterbi: Viterbi::new(),
+            pending: 0,
+            stats: SessionStats::default(),
+            tx_syms: vec![0; n],
+            block: vec![C32::zero(); n],
+            llrs: vec![0.0; n * m],
+            tx_bits: vec![0; n * m],
+            info: vec![0; info_len],
+        };
+        let index = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize].session = Some(Mutex::new(session));
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    session: Some(Mutex::new(session)),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        SessionId {
+            index,
+            generation: self.slots[index as usize].generation,
+        }
+    }
+
+    fn slot_mut(&mut self, id: SessionId) -> Result<&mut Slot, SessionError> {
+        let slot = self
+            .slots
+            .get_mut(id.index as usize)
+            .ok_or(SessionError::Stale)?;
+        if slot.generation != id.generation || slot.session.is_none() {
+            return Err(SessionError::Stale);
+        }
+        Ok(slot)
+    }
+
+    /// Closes a session: its counters fold into the retired
+    /// accumulator (they stay visible to [`LinkServer::aggregate`]),
+    /// the slot's generation is bumped so stale handles are rejected,
+    /// and the slot joins the free list for reuse. Returns the
+    /// session's final counters. Queued-but-unserved frames are
+    /// dropped silently — closing is the caller's choice, not shed.
+    pub fn close_session(&mut self, id: SessionId) -> Result<SessionStats, SessionError> {
+        let slot = self.slot_mut(id)?;
+        let session = slot.session.take().expect("checked occupied");
+        slot.generation = slot.generation.wrapping_add(1);
+        let stats = session.into_inner().unwrap().stats;
+        self.retired.merge(&stats);
+        self.closed += 1;
+        self.free.push(id.index);
+        Ok(stats)
+    }
+
+    /// A session's current counters.
+    pub fn session_stats(&mut self, id: SessionId) -> Result<SessionStats, SessionError> {
+        let slot = self.slot_mut(id)?;
+        Ok(slot.session.as_mut().unwrap().get_mut().unwrap().stats)
+    }
+
+    /// Frames a session has queued.
+    pub fn pending(&mut self, id: SessionId) -> Result<u32, SessionError> {
+        let slot = self.slot_mut(id)?;
+        Ok(slot.session.as_mut().unwrap().get_mut().unwrap().pending)
+    }
+
+    /// Admission control: enqueues `frames` for the session, or sheds
+    /// the whole request when it would push the queue past
+    /// [`ServerCfg::queue_cap`]. Shed frames are counted in the
+    /// session's statistics; the queue never exceeds its bound.
+    pub fn submit(&mut self, id: SessionId, frames: u32) -> Result<Admit, SessionError> {
+        let cap = self.cfg.queue_cap;
+        let slot = self.slot_mut(id)?;
+        let s = slot.session.as_mut().unwrap().get_mut().unwrap();
+        if frames > cap - s.pending {
+            s.stats.shed_frames += u64::from(frames);
+            Ok(Admit::Shed)
+        } else {
+            s.pending += frames;
+            Ok(Admit::Accepted)
+        }
+    }
+
+    /// Serves one frame on every session with queued work; returns the
+    /// number of frames served.
+    ///
+    /// A round is: **plan** (sequential — group active sessions by
+    /// backend, prefix-sum their buffer offsets, chop into chunks of
+    /// ≤ `batch_links` links), then one pool round over the chunks.
+    /// Each chunk task generates its sessions' frames, gathers their
+    /// symbols into this chunk's contiguous range of the shared
+    /// buffer, issues one `demap_block` for the whole chunk, and
+    /// scatters each session's LLR span back into its monitor state.
+    /// Single-link chunks skip the gather and demap in place.
+    pub fn serve_round(&mut self) -> u64 {
+        let Self {
+            cfg,
+            backends,
+            slots,
+            pool,
+            order,
+            offsets,
+            chunks,
+            gather,
+            gathered_llrs,
+            rounds,
+            ..
+        } = self;
+
+        // ---- plan (sequential, reused scratch) -----------------------
+        order.clear();
+        offsets.clear();
+        chunks.clear();
+        let (mut sym, mut bits) = (0usize, 0usize);
+        for b in 0..backends.len() as u32 {
+            let seg_start = order.len();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let Some(cell) = slot.session.as_mut() else {
+                    continue;
+                };
+                let s = cell.get_mut().unwrap();
+                if s.backend != b || s.pending == 0 {
+                    continue;
+                }
+                order.push(i as u32);
+                offsets.push((sym, bits));
+                sym += s.block.len();
+                bits += s.llrs.len();
+            }
+            let mut c = seg_start;
+            while c < order.len() {
+                let end = (c + cfg.batch_links).min(order.len());
+                chunks.push(Chunk {
+                    backend: b,
+                    start: c,
+                    end,
+                    sym_base: offsets[c].0,
+                    bit_base: offsets[c].1,
+                });
+                c = end;
+            }
+        }
+        if order.is_empty() {
+            return 0;
+        }
+        gather.ensure_len(sym);
+        gathered_llrs.ensure_len(bits);
+        let (total_sym, total_bits) = (sym, bits);
+
+        // ---- execute (work-stealing over chunks) ---------------------
+        let slots: &[Slot] = slots;
+        let order: &[u32] = order;
+        let offsets: &[(usize, usize)] = offsets;
+        let gather: &SharedBuf<C32> = gather;
+        let gathered_llrs: &SharedBuf<f32> = gathered_llrs;
+        let lock = |k: usize| {
+            slots[order[k] as usize]
+                .session
+                .as_ref()
+                .expect("planned slots stay occupied for the round")
+                .lock()
+                .unwrap()
+        };
+        pool.run(chunks.len(), |ci| {
+            let c = chunks[ci];
+            let backend = &backends[c.backend as usize];
+            let m = backend.constellation.bits_per_symbol();
+            if c.end - c.start == 1 {
+                lock(c.start).serve_unbatched(&backend.constellation, backend.demapper.as_ref());
+                return;
+            }
+            // Gather: each session's fresh frame lands in its planned
+            // range of the shared buffer (ranges are disjoint — one
+            // chunk per session, prefix-sum offsets).
+            for (k, off) in offsets.iter().enumerate().take(c.end).skip(c.start) {
+                let mut s = lock(k);
+                s.gen_frame(&backend.constellation);
+                let dst = unsafe { gather.slice_mut(off.0, s.block.len()) };
+                dst.copy_from_slice(&s.block);
+            }
+            let sym_end = offsets.get(c.end).map_or(total_sym, |o| o.0);
+            let bit_end = offsets.get(c.end).map_or(total_bits, |o| o.1);
+            // One demap call for the whole chunk — this is the batching
+            // the saturation bench measures. `demap_block` is bit-exact
+            // against the per-symbol path, so LLRs are independent of
+            // batch composition.
+            let ys = unsafe { gather.slice_mut(c.sym_base, sym_end - c.sym_base) };
+            let out = unsafe { gathered_llrs.slice_mut(c.bit_base, bit_end - c.bit_base) };
+            backend.demapper.demap_block(ys, out);
+            // Scatter: each session consumes its LLR span.
+            for (k, off) in offsets.iter().enumerate().take(c.end).skip(c.start) {
+                let mut s = lock(k);
+                let span = unsafe { gathered_llrs.slice_mut(off.1, s.llrs.len()) };
+                s.finish_frame(span, m);
+            }
+        });
+        *rounds += 1;
+        order.len() as u64
+    }
+
+    /// Serves rounds until every queue is drained; returns the total
+    /// frames served.
+    pub fn serve(&mut self) -> u64 {
+        let mut total = 0;
+        loop {
+            let served = self.serve_round();
+            if served == 0 {
+                return total;
+            }
+            total += served;
+        }
+    }
+
+    /// Sessions currently open.
+    pub fn open_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.session.is_some()).count()
+    }
+
+    /// Serving rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cumulative steal count of the underlying pool (observability;
+    /// deliberately **not** part of [`AggregateReport`] — it depends
+    /// on scheduling).
+    pub fn steal_count(&self) -> u64 {
+        self.pool.steal_count()
+    }
+
+    /// Folds every session's counters — open sessions in slab order,
+    /// then the retired accumulator — into the aggregate artefact.
+    /// Integer counts + fixed fold order ⇒ byte-identical JSON at any
+    /// worker count and batch size.
+    pub fn aggregate(&mut self) -> AggregateReport {
+        let mut total = SessionStats::default();
+        let mut open = 0u64;
+        for slot in &mut self.slots {
+            if let Some(cell) = slot.session.as_mut() {
+                total.merge(&cell.get_mut().unwrap().stats);
+                open += 1;
+            }
+        }
+        total.merge(&self.retired.clone());
+        AggregateReport {
+            sessions_open: open,
+            sessions_closed: self.closed,
+            rounds: self.rounds,
+            frames: total.frames,
+            payload_bits: total.payload_bits,
+            payload_bit_errors: total.payload_bit_errors,
+            pilot_bits: total.pilot_bits,
+            pilot_bit_errors: total.pilot_bit_errors,
+            ecc_corrected: total.ecc_corrected,
+            shed_frames: total.shed_frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridem_comm::demapper::MaxLogMap;
+    use hybridem_comm::trajectory::ChannelState;
+    use hybridem_mathkit::json::ToJson;
+
+    fn qam_server(cfg: ServerCfg) -> (LinkServer, BackendId) {
+        let qam = Constellation::qam_gray(16);
+        let mut server = LinkServer::new(cfg);
+        let backend = server.register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam, 0.2)) as _);
+        (server, backend)
+    }
+
+    fn clean_session(backend: BackendId, seed: u64) -> SessionCfg {
+        let mut cfg = SessionCfg::new(
+            backend,
+            Trajectory::constant("clean", ChannelState::clean(f64::INFINITY), 1),
+            seed,
+        );
+        cfg.frame_symbols = 32;
+        cfg.pilot_symbols = 8;
+        cfg
+    }
+
+    #[test]
+    fn noiseless_sessions_serve_error_free() {
+        let (mut server, backend) = qam_server(ServerCfg {
+            workers: 2,
+            ..ServerCfg::default()
+        });
+        let ids: Vec<_> = (0..17)
+            .map(|i| server.open_session(clean_session(backend, i)))
+            .collect();
+        for &id in &ids {
+            assert_eq!(server.submit(id, 3).unwrap(), Admit::Accepted);
+        }
+        assert_eq!(server.serve(), 17 * 3);
+        let agg = server.aggregate();
+        agg.validate().unwrap();
+        assert_eq!(agg.frames, 51);
+        assert_eq!(agg.payload_bit_errors, 0);
+        assert_eq!(agg.pilot_bit_errors, 0);
+        assert_eq!(agg.payload_bits, 51 * (32 - 8) * 4);
+        assert_eq!(agg.shed_frames, 0);
+        assert_eq!(agg.sessions_open, 17);
+    }
+
+    #[test]
+    fn noisy_aggregate_is_identical_across_batch_sizes() {
+        // The determinism claim at the heart of the design: a symbol's
+        // LLRs do not depend on which gather batch it landed in, so
+        // the whole artefact is independent of batch_links.
+        let serve = |batch_links: usize| {
+            let (mut server, backend) = qam_server(ServerCfg {
+                workers: 3,
+                queue_cap: 16,
+                batch_links,
+            });
+            for i in 0..29 {
+                let mut cfg = clean_session(backend, 1000 + i);
+                cfg.trajectory = Trajectory::constant("awgn", ChannelState::clean(8.0), 1);
+                let id = server.open_session(cfg);
+                server.submit(id, 4).unwrap();
+            }
+            server.serve();
+            server.aggregate().to_json().to_string_pretty()
+        };
+        let baseline = serve(1);
+        assert_eq!(baseline, serve(7));
+        assert_eq!(baseline, serve(256));
+    }
+
+    #[test]
+    fn slab_reuses_slots_and_rejects_stale_ids() {
+        let (mut server, backend) = qam_server(ServerCfg::default());
+        let a = server.open_session(clean_session(backend, 1));
+        let b = server.open_session(clean_session(backend, 2));
+        server.submit(a, 1).unwrap();
+        server.serve();
+        let stats = server.close_session(a).unwrap();
+        assert_eq!(stats.frames, 1);
+        // The slot is reused for the next open…
+        let c = server.open_session(clean_session(backend, 3));
+        assert_eq!(c.index, a.index, "freed slot must be reused");
+        assert_ne!(c.generation, a.generation, "…under a new generation");
+        // …and every operation through the stale handle is rejected.
+        assert_eq!(server.submit(a, 1), Err(SessionError::Stale));
+        assert_eq!(server.session_stats(a), Err(SessionError::Stale));
+        assert_eq!(server.close_session(a), Err(SessionError::Stale));
+        // Closed counters stay in the aggregate.
+        assert_eq!(server.aggregate().frames, 1);
+        assert_eq!(server.aggregate().sessions_closed, 1);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn double_close_is_stale() {
+        let (mut server, backend) = qam_server(ServerCfg::default());
+        let id = server.open_session(clean_session(backend, 5));
+        server.close_session(id).unwrap();
+        assert_eq!(server.close_session(id), Err(SessionError::Stale));
+    }
+
+    #[test]
+    fn admission_sheds_whole_requests_and_caps_the_queue() {
+        let (mut server, backend) = qam_server(ServerCfg {
+            queue_cap: 4,
+            ..ServerCfg::default()
+        });
+        let id = server.open_session(clean_session(backend, 9));
+        assert_eq!(server.submit(id, 3).unwrap(), Admit::Accepted);
+        // 3 + 2 > 4: shed whole, nothing partially enqueued.
+        assert_eq!(server.submit(id, 2).unwrap(), Admit::Shed);
+        assert_eq!(server.pending(id).unwrap(), 3);
+        assert_eq!(server.submit(id, 1).unwrap(), Admit::Accepted);
+        assert_eq!(server.pending(id).unwrap(), 4);
+        assert_eq!(server.submit(id, 1).unwrap(), Admit::Shed);
+        assert_eq!(server.pending(id).unwrap(), 4, "queue never exceeds cap");
+        server.serve();
+        let stats = server.session_stats(id).unwrap();
+        assert_eq!(stats.frames, 4);
+        assert_eq!(stats.shed_frames, 3);
+    }
+
+    #[test]
+    fn ecc_monitored_sessions_count_corrections() {
+        let (mut server, backend) = qam_server(ServerCfg::default());
+        let mut cfg = SessionCfg::new(
+            backend,
+            Trajectory::constant("awgn", ChannelState::clean(4.0), 1),
+            77,
+        );
+        cfg.monitor = Monitor::Ecc;
+        let id = server.open_session(cfg);
+        server.submit(id, 8).unwrap();
+        server.serve();
+        let stats = server.session_stats(id).unwrap();
+        assert_eq!(stats.frames, 8);
+        assert!(
+            stats.payload_bit_errors > 0,
+            "4 dB QAM-16 must show raw errors"
+        );
+        assert!(stats.ecc_corrected > 0, "the decoder must correct some");
+    }
+
+    #[test]
+    fn aggregate_report_round_trips_json() {
+        let (mut server, backend) = qam_server(ServerCfg::default());
+        let id = server.open_session(clean_session(backend, 3));
+        server.submit(id, 2).unwrap();
+        server.serve();
+        let report = server.aggregate();
+        report.validate().unwrap();
+        let text = report.to_json().to_string_pretty();
+        let back = AggregateReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on bits/symbol")]
+    fn mismatched_backend_widths_rejected() {
+        let mut server = LinkServer::new(ServerCfg::default());
+        let wrong = MaxLogMap::new(Constellation::qam_gray(4), 0.1);
+        let _ = server.register_backend(Constellation::qam_gray(16), Arc::new(wrong) as _);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend")]
+    fn unknown_backend_rejected() {
+        let mut server = LinkServer::new(ServerCfg::default());
+        let _ = server.open_session(clean_session(BackendId(0), 0));
+    }
+}

@@ -1,0 +1,144 @@
+//! No-alloc steady-state contract of the link server (DESIGN.md §12.4,
+//! extending the PR 4 counting-allocator contract to the gather /
+//! scatter path): after a warmup round at full load, serving frames
+//! allocates nothing — session scratch, the round plan, the gather
+//! buffers and the pool's deques all reuse their capacity.
+//!
+//! The assertions run with `workers: 1`, where every chunk executes
+//! inline on this (counted) thread, making the measurement exact and
+//! deterministic. With background workers the per-frame work is the
+//! same closures on other threads plus per-round condvar signalling —
+//! none of which allocates — but which thread runs which chunk is
+//! scheduler-dependent, so a thread-local counter could not pin it.
+//! ECC-monitored sessions are excluded by design: `ConvCode::encode` /
+//! `Viterbi::decode_soft` allocate internally (documented in
+//! `core::server`), so the contract is stated for pilot monitoring.
+
+use hybridem_comm::constellation::Constellation;
+use hybridem_comm::demapper::MaxLogMap;
+use hybridem_comm::trajectory::{ChannelState, Trajectory};
+use hybridem_core::server::{LinkServer, ServerCfg, SessionCfg, SessionId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// System allocator with a per-thread allocation counter (same rig as
+/// the fpga/nn alloc tests): counting thread-locally isolates the
+/// measured region from the test harness.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+const LINKS: u64 = 256;
+const FRAMES: u32 = 100;
+
+fn fleet(batch_links: usize) -> (LinkServer, Vec<SessionId>) {
+    let qam = Constellation::qam_gray(16);
+    let mut server = LinkServer::new(ServerCfg {
+        workers: 1,
+        queue_cap: FRAMES + 1,
+        batch_links,
+    });
+    let backend = server.register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam, 0.2)) as _);
+    let ids = (0..LINKS)
+        .map(|i| {
+            let mut cfg = SessionCfg::new(
+                backend,
+                Trajectory::constant("awgn", ChannelState::clean(10.0), 1),
+                i,
+            );
+            cfg.frame_symbols = 32;
+            cfg.pilot_symbols = 8;
+            server.open_session(cfg)
+        })
+        .collect();
+    (server, ids)
+}
+
+fn assert_steady_state_alloc_free(batch_links: usize, label: &str) {
+    let (mut server, ids) = fleet(batch_links);
+    // Warmup: one full-load round grows every buffer — session
+    // scratch, plan vectors, gather buffers, pool deques — to its
+    // high-water mark.
+    for &id in &ids {
+        server.submit(id, 1).unwrap();
+    }
+    assert_eq!(server.serve(), LINKS);
+
+    let before = allocations();
+    for _ in 0..FRAMES {
+        for &id in &ids {
+            server.submit(id, 1).unwrap();
+        }
+        server.serve_round();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "{label}: steady state over {FRAMES} frames × {LINKS} links must not allocate"
+    );
+    assert_eq!(server.aggregate().frames, u64::from(FRAMES + 1) * LINKS);
+}
+
+#[test]
+fn batched_steady_state_allocates_nothing() {
+    // 256 links / 64-link batches: the gather → one demap_block →
+    // scatter path.
+    assert_steady_state_alloc_free(64, "batched");
+}
+
+#[test]
+fn unbatched_steady_state_allocates_nothing() {
+    // batch_links = 1: the per-link in-place demap path.
+    assert_steady_state_alloc_free(1, "unbatched");
+}
+
+#[test]
+fn steady_state_survives_queue_depth_changes_without_allocating() {
+    // Varying queued depth (multi-round drains) must still reuse the
+    // warm plan: the active set shrinks and regrows, never exceeding
+    // the warmed high-water mark.
+    let (mut server, ids) = fleet(32);
+    for &id in &ids {
+        server.submit(id, 3).unwrap();
+    }
+    assert_eq!(server.serve(), LINKS * 3);
+
+    let before = allocations();
+    for round in 0..20u32 {
+        for (i, &id) in ids.iter().enumerate() {
+            server.submit(id, 1 + (i as u32 + round) % 3).unwrap();
+        }
+        server.serve();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "drain loops at varying depth must not allocate"
+    );
+}

@@ -21,16 +21,23 @@
 //!   (DESIGN.md §8);
 //! - [`shard::ShardRunner`] — fully independent stateful shards (one
 //!   online link per shard) stepped in parallel and folded in shard
-//!   order (DESIGN.md §10).
+//!   order (DESIGN.md §10);
+//! - [`steal::StealPool`] — persistent work-stealing workers for
+//!   latency-imbalanced serving rounds, where static partitioning
+//!   would let one hot task starve its whole range (DESIGN.md §12).
+//!   Deliberately **non**-deterministic in schedule; consumers fold
+//!   results in task order to stay reproducible.
 
 #![warn(missing_docs)]
 
 pub mod montecarlo;
 pub mod par_iter;
 pub mod shard;
+pub mod steal;
 pub mod util;
 
 pub use montecarlo::{run as montecarlo_run, MonteCarloPlan, RoundRunner};
 pub use par_iter::{par_chunks_map, par_for_each_mut, par_map, par_map_indexed};
 pub use shard::ShardRunner;
+pub use steal::StealPool;
 pub use util::num_threads;

@@ -44,14 +44,34 @@ impl<S: Send> ShardRunner<S> {
         self.rounds
     }
 
-    /// Runs `body(index, shard)` once per shard, in parallel. Shards
-    /// never observe each other, so this is identical to the
-    /// sequential loop at any `HYBRIDEM_THREADS`.
+    /// Runs `body(index, shard)` once per shard, in parallel.
+    ///
+    /// # Determinism contract
+    ///
+    /// This runner **static-partitions**: shard `i` is always stepped
+    /// against its own state and nothing else, `body` runs exactly once
+    /// per shard per round, and every reduction ([`ShardRunner::fold`])
+    /// visits shards in index order. Together these make a campaign's
+    /// output a pure function of the shard constructors — bit-identical
+    /// at any `HYBRIDEM_THREADS`. The price is load balance: a slow
+    /// shard stalls its partition. Serving workloads that need
+    /// rebalancing use [`crate::steal::StealPool`] instead, which
+    /// trades the schedule guarantee away — the two must not be
+    /// confused, so the contract is asserted here rather than assumed.
     pub fn run_round<B>(&mut self, body: B)
     where
         B: Fn(u32, &mut S) + Sync,
     {
-        par_for_each_mut(&mut self.shards, |i, s| body(i as u32, s));
+        let visits = std::sync::atomic::AtomicUsize::new(0);
+        par_for_each_mut(&mut self.shards, |i, s| {
+            visits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            body(i as u32, s);
+        });
+        assert_eq!(
+            visits.load(std::sync::atomic::Ordering::Relaxed),
+            self.shards.len(),
+            "determinism contract: body runs exactly once per shard"
+        );
         self.rounds += 1;
     }
 
@@ -153,6 +173,26 @@ mod tests {
         r.run_round(|i, s| *s += u64::from(i) * 10);
         let order = r.fold(|s| vec![*s], |a, b| a.extend(b));
         assert_eq!(order, vec![0, 11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn fold_order_pinned_under_imbalanced_load() {
+        // Regression pin for the determinism contract: even when some
+        // shards take much longer than others (so parallel *completion*
+        // order scrambles), the fold must still visit shards in index
+        // order and each shard must have been stepped exactly once.
+        // This is exactly the property StealPool does NOT provide, and
+        // the server's report fold depends on ShardRunner keeping it.
+        let mut r = ShardRunner::new(8, |i| (i, 0u32));
+        r.run_round(|i, s| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            s.1 += 1;
+        });
+        let order = r.fold(|s| vec![s.0], |a, b| a.extend(b));
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(r.states().iter().all(|s| s.1 == 1), "one step per shard");
     }
 
     #[test]

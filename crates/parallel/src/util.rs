@@ -1,21 +1,41 @@
 //! Worker-count and chunking heuristics.
+//!
+//! All thread-count policy lives here: every crate and bench binary
+//! that honours the `HYBRIDEM_THREADS` override goes through
+//! [`num_threads`] / [`thread_override`], so the fallback rules for
+//! unset, zero and garbage values are defined (and tested) exactly
+//! once.
 
 use std::num::NonZeroUsize;
 
+/// Environment variable capping the worker count workspace-wide.
+pub const THREADS_ENV: &str = "HYBRIDEM_THREADS";
+
+/// Parses a thread-count override value: `Some(n)` when the trimmed
+/// string parses to `n ≥ 1`, otherwise `None` — an unset variable, an
+/// empty string, `0`, or garbage all fall back to the host default.
+/// This is the single parsing rule behind [`num_threads`]; bench
+/// binaries that sweep explicit worker counts use it directly so
+/// their fallback behaviour matches the library's.
+pub fn thread_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 /// Number of worker threads to use: the available parallelism, capped
-/// by the `HYBRIDEM_THREADS` environment variable when set (useful for
-/// benchmarking scaling behaviour and for CI determinism checks).
+/// by the `HYBRIDEM_THREADS` environment variable when set to a valid
+/// count (useful for benchmarking scaling behaviour and for CI
+/// determinism checks). Invalid values (`0`, empty, non-numeric) are
+/// ignored rather than honoured or fatal: a misconfigured environment
+/// degrades to the host default instead of serialising or crashing a
+/// campaign.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("HYBRIDEM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    thread_override(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Splits `len` items into at most `pieces` contiguous ranges of nearly
@@ -46,6 +66,23 @@ mod tests {
     #[test]
     fn at_least_one_thread() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn override_accepts_valid_counts() {
+        assert_eq!(thread_override(Some("1")), Some(1));
+        assert_eq!(thread_override(Some("8")), Some(8));
+        assert_eq!(thread_override(Some(" 4 ")), Some(4), "whitespace-tolerant");
+    }
+
+    #[test]
+    fn override_falls_back_for_unset_zero_and_garbage() {
+        assert_eq!(thread_override(None), None, "unset");
+        assert_eq!(thread_override(Some("0")), None, "zero would deadlock");
+        assert_eq!(thread_override(Some("")), None, "empty");
+        assert_eq!(thread_override(Some("many")), None, "non-numeric");
+        assert_eq!(thread_override(Some("-2")), None, "negative");
+        assert_eq!(thread_override(Some("3.5")), None, "fractional");
     }
 
     #[test]

@@ -5,7 +5,9 @@ use hybridem_mathkit::rng::Rng64;
 use hybridem_parallel::montecarlo::{run, MonteCarloPlan};
 use hybridem_parallel::par_iter::{par_chunks_map, par_map, par_map_indexed};
 use hybridem_parallel::util::split_ranges;
+use hybridem_parallel::StealPool;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 proptest! {
     #[test]
@@ -73,5 +75,24 @@ proptest! {
         let plan = MonteCarloPlan::with_tasks(trials, tasks, seed);
         let counted = run(&plan, || 0u64, |acc, _| *acc += 1, |a, b| *a += b);
         prop_assert_eq!(counted, trials);
+    }
+
+    #[test]
+    fn steal_pool_runs_every_task_exactly_once(
+        threads in 1usize..6, tasks in 0usize..400, rounds in 1usize..4
+    ) {
+        // The pool makes no ordering promise, but exact-once execution
+        // must hold for every (thread count, task count) combination
+        // and must not degrade across reused rounds.
+        let pool = StealPool::new(threads);
+        for _ in 0..rounds {
+            let hits: Vec<AtomicU32> = (0..tasks).map(|_| AtomicU32::new(0)).collect();
+            pool.run(tasks, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                prop_assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Serving-fabric acceptance (DESIGN.md §12): the aggregate artefact
+//! of a [`LinkServer`] run is byte-identical across worker counts and
+//! batch sizes — per-session RNG streams, bit-exact block demapping
+//! and integer slab-order folds make the report a pure function of the
+//! submitted work — and a thousand-link mixed-backend fleet drains
+//! with bounded queues.
+
+use hybridem::comm::constellation::Constellation;
+use hybridem::comm::demapper::MaxLogMap;
+use hybridem::comm::trajectory::{ChannelState, Trajectory};
+use hybridem::core::server::{Admit, LinkServer, ServerCfg, SessionCfg};
+use hybridem::fixed::{QFormat, QuantSpec, Rounding};
+use hybridem::fpga::graph::compile;
+use hybridem::mathkit::json::ToJson;
+use hybridem::mathkit::rng::Xoshiro256pp;
+use hybridem::nn::model::MlpSpec;
+use std::sync::Arc;
+
+/// A server with the paper's two serving backends: the conventional
+/// QAM-16 max-log kernel and a compiled integer `QuantizedGraph`.
+fn mixed_server(cfg: ServerCfg) -> (LinkServer, [hybridem::core::server::BackendId; 2]) {
+    let qam = Constellation::qam_gray(16);
+    let mut server = LinkServer::new(cfg);
+    let maxlog =
+        server.register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam.clone(), 0.2)) as _);
+    let model = MlpSpec::paper_demapper().build(&mut Xoshiro256pp::seed_from_u64(3));
+    let q = |fmt: QFormat| QuantSpec {
+        format: fmt,
+        rounding: Rounding::Nearest,
+    };
+    let graph = compile(
+        &model,
+        &[
+            q(QFormat::signed(8, 5)),
+            q(QFormat::signed(8, 4)),
+            q(QFormat::signed(8, 4)),
+            q(QFormat::unsigned(8, 8)),
+        ],
+    );
+    let graph_id = server.register_backend(qam, Arc::new(graph) as _);
+    (server, [maxlog, graph_id])
+}
+
+/// Opens a mixed fleet (alternating backends, two frame geometries,
+/// noisy channels), submits a staggered frame load, serves it, and
+/// returns the serialised aggregate.
+fn serve_fleet(cfg: ServerCfg, links: u64) -> String {
+    let (mut server, backends) = mixed_server(cfg);
+    let ids: Vec<_> = (0..links)
+        .map(|i| {
+            let mut scfg = SessionCfg::new(
+                backends[(i % 2) as usize],
+                Trajectory::constant("awgn", ChannelState::clean(6.0 + (i % 5) as f64), 1),
+                0xF1EE7 + i,
+            );
+            scfg.frame_symbols = if i % 3 == 0 { 48 } else { 32 };
+            scfg.pilot_symbols = 8;
+            server.open_session(scfg)
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        server.submit(id, 1 + (i % 4) as u32).unwrap();
+    }
+    server.serve();
+    // Interleave closes with a second wave so retired counters and
+    // slab reuse are part of the pinned artefact too.
+    for &id in ids.iter().step_by(7) {
+        server.close_session(id).unwrap();
+    }
+    for &id in ids.iter().skip(1).step_by(7) {
+        server.submit(id, 2).unwrap();
+    }
+    server.serve();
+    let report = server.aggregate();
+    report.validate().unwrap();
+    report.to_json().to_string_pretty()
+}
+
+#[test]
+fn aggregate_is_byte_identical_across_worker_counts() {
+    let cfg = |workers| ServerCfg {
+        workers,
+        queue_cap: 16,
+        batch_links: 8,
+    };
+    let one = serve_fleet(cfg(1), 61);
+    assert_eq!(one, serve_fleet(cfg(2), 61));
+    assert_eq!(one, serve_fleet(cfg(5), 61));
+}
+
+#[test]
+fn aggregate_is_byte_identical_across_batch_sizes() {
+    let cfg = |batch_links| ServerCfg {
+        workers: 4,
+        queue_cap: 16,
+        batch_links,
+    };
+    let unbatched = serve_fleet(cfg(1), 47);
+    assert_eq!(unbatched, serve_fleet(cfg(3), 47));
+    assert_eq!(unbatched, serve_fleet(cfg(256), 47));
+}
+
+#[test]
+fn thousand_link_fleet_drains_with_bounded_queues() {
+    let (mut server, backends) = mixed_server(ServerCfg {
+        workers: 4,
+        queue_cap: 2,
+        batch_links: 64,
+    });
+    let ids: Vec<_> = (0..1024u64)
+        .map(|i| {
+            let mut scfg = SessionCfg::new(
+                backends[(i % 2) as usize],
+                Trajectory::constant("clean", ChannelState::clean(f64::INFINITY), 1),
+                i,
+            );
+            scfg.frame_symbols = 16;
+            scfg.pilot_symbols = 4;
+            server.open_session(scfg)
+        })
+        .collect();
+    // Oversubmit: cap 2, ask for 3 → the third submit sheds, and the
+    // queue bound holds for every link.
+    for &id in &ids {
+        assert_eq!(server.submit(id, 1).unwrap(), Admit::Accepted);
+        assert_eq!(server.submit(id, 1).unwrap(), Admit::Accepted);
+        assert_eq!(server.submit(id, 1).unwrap(), Admit::Shed);
+        assert_eq!(server.pending(id).unwrap(), 2);
+    }
+    assert_eq!(server.serve(), 1024 * 2);
+    for &id in &ids {
+        assert_eq!(server.pending(id).unwrap(), 0, "queues fully drained");
+    }
+    let agg = server.aggregate();
+    agg.validate().unwrap();
+    assert_eq!(agg.frames, 1024 * 2);
+    assert_eq!(agg.shed_frames, 1024);
+    assert_eq!(agg.sessions_open, 1024);
+    // Noiseless max-log sessions demap perfectly; the untrained graph
+    // backend is expected to be wrong, but errors never exceed bits.
+    assert!(agg.payload_bit_errors <= agg.payload_bits);
+    if server.cfg().workers > 1 {
+        // With 1024 links over 4 workers some stealing is effectively
+        // certain; a zero here would mean the pool static-partitioned.
+        assert!(server.rounds() >= 2);
+    }
+}
