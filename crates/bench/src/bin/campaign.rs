@@ -1,10 +1,13 @@
 //! **Campaign** — the paper's Fig. 2 waterfall comparison as a full
-//! SNR-sweep campaign: conventional max-log vs AE-inference vs hybrid
-//! centroids vs the fixed-point FPGA accelerator model vs the
-//! QAT-fine-tuned quantised ANN at W4/W6/W8 (the BER-vs-bitwidth
-//! trade-off, DESIGN.md §9), across the paper's channel impairments,
-//! with statistical early stopping (DESIGN.md §8) and a
-//! schema-validated JSON artefact.
+//! SNR-sweep campaign over the backend registry (DESIGN.md §13):
+//! conventional max-log, AE-inference, hybrid centroids, the
+//! fixed-point FPGA accelerator model, the QAT-fine-tuned quantised
+//! ANN at W4/W6/W8 (the BER-vs-bitwidth trade-off, DESIGN.md §9),
+//! exact log-MAP, and the event-driven/spiking readout stub — across
+//! the paper's channel impairments, with statistical early stopping
+//! (DESIGN.md §8) and a schema-validated JSON artefact. The family
+//! list is enumerated from [`hybridem_core::registry::paper_registry`],
+//! not hand-built.
 //!
 //! Budget knobs: `HYBRIDEM_QUICK=1` cuts the AE training budget 8×;
 //! `HYBRIDEM_CAMPAIGN_TRIALS=<n>` caps simulated symbols per point

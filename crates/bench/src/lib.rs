@@ -76,15 +76,18 @@ pub fn budget(full: u64) -> u64 {
 }
 
 /// Per-point symbol cap for campaign runs, from the
-/// `HYBRIDEM_CAMPAIGN_TRIALS` environment variable (unset or
-/// unparsable ⇒ `None`, i.e. the campaign's own cap applies). The
+/// `HYBRIDEM_CAMPAIGN_TRIALS` environment variable, parsed by the
+/// strict shared rule ([`hybridem_mathkit::env::parse_count`]: digits
+/// only, ≥ 1; unset or anything else ⇒ `None`, i.e. the campaign's
+/// own cap applies). The
 /// campaign schedule rounds the cap up to whole blocks, so actual
 /// budgets can exceed it by up to `block_len − 1` symbols. CI sets a
 /// small value to keep the seeded micro-campaign smoke cheap.
 pub fn campaign_symbol_cap() -> Option<u64> {
     std::env::var("HYBRIDEM_CAMPAIGN_TRIALS")
         .ok()
-        .and_then(|v| v.parse().ok())
+        .as_deref()
+        .and_then(hybridem_mathkit::env::parse_count)
 }
 
 /// Checks a path exists after writing (sanity for artefact tests).

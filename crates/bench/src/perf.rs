@@ -32,12 +32,15 @@ pub const PERF_SCHEMA: &str = "hybridem-perf-v1";
 /// budget, tight against a real kernel regression).
 pub const REGRESSION_TOLERANCE: f64 = 0.15;
 
-/// Sampling budget per case in milliseconds: `HYBRIDEM_BENCH_MS`, or
-/// 300 ms for full runs.
+/// Sampling budget per case in milliseconds: `HYBRIDEM_BENCH_MS`
+/// parsed by the strict shared rule
+/// ([`hybridem_mathkit::env::parse_count`]), or 300 ms for full runs
+/// and malformed values alike.
 pub fn bench_budget_ms() -> u64 {
     std::env::var("HYBRIDEM_BENCH_MS")
         .ok()
-        .and_then(|v| v.parse().ok())
+        .as_deref()
+        .and_then(hybridem_mathkit::env::parse_count)
         .unwrap_or(300)
 }
 

@@ -157,6 +157,34 @@ impl<D: Demapper + ?Sized> Demapper for &D {
     }
 }
 
+/// Forwarding impl: a shared-ownership handle demaps exactly like the
+/// value it wraps. The backend registry (`core::registry`) hands out
+/// `Arc<dyn Demapper>` so one constructed demapper can be shared by
+/// campaign family builders, online links and the link server without
+/// cloning state; this impl lets those handles plug straight into
+/// every `&dyn Demapper` / `Box<dyn Demapper>` call site bit-exactly.
+impl<D: Demapper + ?Sized> Demapper for std::sync::Arc<D> {
+    fn bits_per_symbol(&self) -> usize {
+        (**self).bits_per_symbol()
+    }
+
+    fn llrs(&self, y: C32, out: &mut [f32]) {
+        (**self).llrs(y, out);
+    }
+
+    fn demap_block(&self, ys: &[C32], out: &mut [f32]) {
+        (**self).demap_block(ys, out);
+    }
+
+    fn hard_decide(&self, y: C32, out: &mut [u8]) {
+        (**self).hard_decide(y, out);
+    }
+
+    fn hard_decide_block(&self, ys: &[C32], out: &mut [u8]) {
+        (**self).hard_decide_block(ys, out);
+    }
+}
+
 /// Per-bit point-subset membership, precomputed once per point set:
 /// `one[i * m + k]` is true when bit `k` of label `i` is 1 (point `i`
 /// belongs to subset `S¹_k`). Shared by the max-log and exact kernels

@@ -17,15 +17,15 @@
 //! impairments as [`paper_scenarios`]; both interpret the campaign's
 //! grid values as **Eb/N0 in dB** (the paper's axis).
 
-use crate::hybrid::HybridDemapper;
 use crate::pipeline::HybridPipeline;
+use crate::registry::{paper_registry, BackendRegistry};
 use hybridem_comm::campaign::{ChannelScenario, DemapperFamily};
 use hybridem_comm::channel::{Awgn, Channel, ChannelChain, IqImbalance, RayleighBlockFading};
 use hybridem_comm::constellation::Constellation;
-use hybridem_comm::demapper::{Demapper, MaxLogMap};
+use hybridem_comm::demapper::Demapper;
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
-use hybridem_comm::snr::{ebn0_to_esn0_db, noise_sigma};
-use hybridem_fpga::demapper_accel::{SoftDemapperAccel, SoftDemapperConfig};
+use hybridem_comm::snr::ebn0_to_esn0_db;
+use hybridem_fpga::demapper_accel::SoftDemapperConfig;
 use hybridem_fpga::graph::QuantizedGraph;
 
 /// One measured operating point.
@@ -84,91 +84,60 @@ pub fn measure(
     }
 }
 
-/// Per-dimension noise σ on the paper's SNR axis: `snr_db` is Eb/N0,
-/// converted to Es/N0 for a `bits`-bit symbol at unit energy.
-fn sigma_ebn0(snr_db: f64, bits: usize) -> f32 {
-    noise_sigma(ebn0_to_esn0_db(snr_db, bits), 1.0) as f32
+/// Lowers a backend registry to campaign demapper families, one per
+/// entry in registration order (grid SNR = **Eb/N0 in dB**, converted
+/// to the registry's Es/N0 axis per family's symbol width). The
+/// builders capture shared backend handles, so the returned families
+/// own everything and outlive the registry borrow.
+pub fn registry_families(registry: &BackendRegistry) -> Vec<DemapperFamily<'static>> {
+    registry
+        .iter()
+        .map(|(_, b)| {
+            let m = b.constellation().bits_per_symbol();
+            let backend = b.clone();
+            DemapperFamily::new(
+                backend.name().to_string(),
+                b.constellation().clone(),
+                Box::new(move |snr| {
+                    Box::new(backend.demapper(ebn0_to_esn0_db(snr, m))) as Box<dyn Demapper>
+                }),
+            )
+        })
+        .collect()
 }
 
-/// The paper's receiver line-up as campaign demapper families
+/// The paper's receiver line-up as campaign demapper families: the
+/// full [`paper_registry`] enumerated through [`registry_families`]
 /// (grid SNR = **Eb/N0 in dB**):
 ///
 /// 1. `conventional` — Gray QAM + max-log with the true constellation;
 /// 2. `AE-inference` — the learned constellation demapped by the
-///    trained ANN itself (borrowed from the pipeline, not cloned);
+///    trained ANN itself (a shared bit-identical copy of the trained
+///    network);
 /// 3. `hybrid-centroids` — max-log on the extracted centroids;
 /// 4. `fixed-point-accel` — the bit-exact integer model of the FPGA
 ///    soft-demapper accelerator running on the same centroids;
 /// 5. one `ann-qat-w{bits}` family per entry of `quantized` — the
 ///    QAT-fine-tuned ANN lowered to the shared integer IR
-///    ([`hybridem_fpga::graph`], DESIGN.md §9), borrowed per grid
+///    ([`hybridem_fpga::graph`], DESIGN.md §9), shared per grid
 ///    point like the float ANN. Sweeping W4/W6/W8 here is what puts
-///    the BER-vs-bitwidth trade-off into the waterfall artefact.
+///    the BER-vs-bitwidth trade-off into the waterfall artefact;
+/// 6. `exact-logmap` — the optimal bitwise demapper on Gray QAM; and
+/// 7. `snn-event` — the event-driven/spiking readout stub on the
+///    extracted centroids.
+///
+/// Families 1–5 are byte-identical to the hand-built list this
+/// function replaced (pinned by `tests/registry_determinism.rs`).
 ///
 /// # Panics
-/// Panics unless [`HybridPipeline::extract_centroids`] ran (families 3
-/// and 4 need the extracted centroid set).
-pub fn campaign_families<'a>(
-    pipe: &'a HybridPipeline,
+/// Panics unless [`HybridPipeline::extract_centroids`] ran (the
+/// centroid-backed families need the extracted set).
+pub fn campaign_families(
+    pipe: &HybridPipeline,
     accel_cfg: SoftDemapperConfig,
-    quantized: &'a [QuantizedGraph],
-) -> Vec<DemapperFamily<'a>> {
-    let hybrid = pipe
-        .hybrid_demapper()
-        .expect("campaign_families needs extracted centroids: run extract_centroids() first");
-    let m = pipe.constellation().bits_per_symbol();
-    let qam = Constellation::qam_gray(pipe.config().num_symbols());
-    let learned = pipe.constellation();
-    let centroids = hybrid.centroids().clone();
-    let accel_centroids = centroids.points().to_vec();
-
-    let conv_tx = qam.clone();
-    let hybrid_centroids = centroids.clone();
-    let mut families = vec![
-        DemapperFamily::new(
-            "conventional",
-            conv_tx,
-            Box::new(move |snr| Box::new(MaxLogMap::new(qam.clone(), sigma_ebn0(snr, m)))),
-        ),
-        DemapperFamily::new(
-            "AE-inference",
-            learned.clone(),
-            // The ANN is SNR-agnostic at inference time; hand out a
-            // borrow of the trained network for every grid point.
-            Box::new(move |_snr| Box::new(pipe.ann_demapper())),
-        ),
-        DemapperFamily::new(
-            "hybrid-centroids",
-            learned.clone(),
-            Box::new(move |snr| {
-                Box::new(HybridDemapper::from_centroids(
-                    hybrid_centroids.clone(),
-                    sigma_ebn0(snr, m),
-                ))
-            }),
-        ),
-        DemapperFamily::new(
-            "fixed-point-accel",
-            learned.clone(),
-            Box::new(move |snr| {
-                Box::new(SoftDemapperAccel::new(
-                    accel_cfg.clone(),
-                    &accel_centroids,
-                    sigma_ebn0(snr, m),
-                ))
-            }),
-        ),
-    ];
-    for graph in quantized {
-        families.push(DemapperFamily::new(
-            format!("ann-qat-w{}", graph.weight_bits()),
-            learned.clone(),
-            // The quantised graph is SNR-agnostic like the float ANN:
-            // hand out a borrow per grid point.
-            Box::new(move |_snr| Box::new(graph)),
-        ));
-    }
-    families
+    quantized: &[QuantizedGraph],
+) -> Vec<DemapperFamily<'static>> {
+    registry_families(&paper_registry(pipe, &accel_cfg, quantized))
 }
 
 /// The paper's channel impairments as campaign scenarios
@@ -284,7 +253,9 @@ mod tests {
                 "AE-inference",
                 "hybrid-centroids",
                 "fixed-point-accel",
-                "ann-qat-w8"
+                "ann-qat-w8",
+                "exact-logmap",
+                "snn-event",
             ]
         );
 
@@ -307,7 +278,7 @@ mod tests {
         };
         spec.tasks = 4;
         let report = run_campaign(&spec);
-        assert_eq!(report.points.len(), 5);
+        assert_eq!(report.points.len(), 7);
         report.validate().expect("campaign artefact invariants");
         // The conventional receiver at 6 dB Eb/N0 must be in a sane
         // BER range; the untrained ANN must be much worse.

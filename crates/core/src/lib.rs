@@ -43,6 +43,7 @@ pub mod mapper;
 pub mod pilot_centroids;
 pub mod pipeline;
 pub mod qat;
+pub mod registry;
 pub mod retrain;
 pub mod runtime;
 pub mod server;

@@ -25,19 +25,22 @@ use crate::demapper_ann::NeuralDemapper;
 use crate::extraction::{extract, ExtractionConfig};
 use crate::hybrid::HybridDemapper;
 use crate::pipeline::HybridPipeline;
+use crate::registry::{paper_registry, BackendHandle, BackendRegistry};
 use crate::retrain::Retrainer;
 use hybridem_comm::channel::Channel;
 use hybridem_comm::constellation::Constellation;
-use hybridem_comm::demapper::{Demapper, MaxLogMap};
+use hybridem_comm::demapper::Demapper;
 use hybridem_comm::ecc::{ConvCode, Viterbi};
 use hybridem_comm::metrics::BitwiseMiEstimator;
 use hybridem_comm::trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+use hybridem_fpga::demapper_accel::SoftDemapperConfig;
 use hybridem_fpga::graph::QuantizedGraph;
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::json::{FromJson, Json, JsonError};
 use hybridem_mathkit::rng::{Rng64, SplitMix64, Xoshiro256pp};
 use hybridem_nn::Sequential;
 use hybridem_parallel::shard::ShardRunner;
+use std::sync::Arc;
 
 /// Which degradation evidence feeds the controller (paper §II-C
 /// proposes both).
@@ -288,9 +291,138 @@ impl Adaptive {
     }
 }
 
+/// Policy of the backend-switching receiver: the `SwitchBackend`
+/// adaptation action picks, from a [`BackendRegistry`], the cheapest
+/// backend whose predicted BER at the current SNR estimate meets
+/// `ber_target` — switching implementations instead of retraining
+/// weights (DESIGN.md §13).
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchPolicy {
+    /// The link's BER target fed to [`BackendRegistry::select_or_best`].
+    pub ber_target: f64,
+    /// Frames of pilot evidence pooled into one SNR estimate; the
+    /// estimator stays silent until the window fills.
+    pub window_frames: usize,
+    /// Minimum frames between switches (hysteresis against estimator
+    /// noise flapping two backends near a selection threshold).
+    pub min_dwell_frames: u64,
+    /// Operating point assumed before the first estimate matures —
+    /// selects the initial backend.
+    pub initial_es_n0_db: f64,
+    /// Estimate clamp floor in dB (an all-error window maps here).
+    pub es_floor_db: f64,
+    /// Estimate clamp ceiling in dB (an error-free window maps here).
+    pub es_ceil_db: f64,
+}
+
+impl Default for SwitchPolicy {
+    fn default() -> Self {
+        Self {
+            ber_target: 2e-2,
+            window_frames: 8,
+            min_dwell_frames: 8,
+            initial_es_n0_db: 12.0,
+            es_floor_db: -10.0,
+            es_ceil_db: 40.0,
+        }
+    }
+}
+
+/// One backend switch of a switching link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwitchEvent {
+    /// Frame whose evidence triggered the switch (the new backend
+    /// demaps from the *next* frame).
+    pub frame: u64,
+    /// Backend that demapped up to and including `frame`.
+    pub from: BackendHandle,
+    /// Backend that demaps from `frame + 1`.
+    pub to: BackendHandle,
+    /// The windowed pilot SNR estimate (Es/N0 dB) behind the decision.
+    pub est_es_n0_db: f64,
+    /// True when `to` is cheaper than `from` (rising SNR earned a
+    /// cheaper implementation); false for the accuracy upshift.
+    pub downshift: bool,
+}
+
+/// The `SwitchBackend` receiver state: a registry handle, the live
+/// demapper, and a ring buffer of per-frame pilot signal/error
+/// energies feeding a data-aided SNR estimator.
+struct Switching {
+    registry: Arc<BackendRegistry>,
+    policy: SwitchPolicy,
+    active: BackendHandle,
+    current: Arc<dyn Demapper>,
+    win_sig: Vec<f64>,
+    win_err: Vec<f64>,
+    filled: usize,
+    cursor: usize,
+    last_switch: u64,
+    just_switched: bool,
+    trace: Vec<u32>,
+    events: Vec<SwitchEvent>,
+}
+
+impl Switching {
+    /// Windowed data-aided estimate: Es/N0 ≈ Σ|x|² / Σ|y−x|² over the
+    /// pooled pilot window, in dB, clamped to the policy range (an
+    /// error-free window saturates at the ceiling).
+    fn estimate_es_n0_db(&self) -> f64 {
+        let sig: f64 = self.win_sig[..self.filled].iter().sum();
+        let err: f64 = self.win_err[..self.filled].iter().sum();
+        if err <= 0.0 {
+            return self.policy.es_ceil_db;
+        }
+        (10.0 * (sig / err).log10()).clamp(self.policy.es_floor_db, self.policy.es_ceil_db)
+    }
+
+    /// Feeds one frame of pilot evidence and, once the window is full
+    /// and the dwell has elapsed, re-runs the selection rule. Returns
+    /// true when the decision switched backends (effective next
+    /// frame).
+    fn observe_pilots(&mut self, frame: u64, sig: f64, err: f64) -> bool {
+        self.win_sig[self.cursor] = sig;
+        self.win_err[self.cursor] = err;
+        self.cursor = (self.cursor + 1) % self.win_sig.len();
+        self.filled = (self.filled + 1).min(self.win_sig.len());
+        if self.filled < self.win_sig.len()
+            || frame < self.last_switch + self.policy.min_dwell_frames
+        {
+            return false;
+        }
+        let est = self.estimate_es_n0_db();
+        let sel = self.registry.select_or_best(est, self.policy.ber_target);
+        if sel == self.active {
+            return false;
+        }
+        let downshift = self
+            .registry
+            .get(sel)
+            .cost(est)
+            .cheaper_than(&self.registry.get(self.active).cost(est));
+        self.events.push(SwitchEvent {
+            frame,
+            from: self.active,
+            to: sel,
+            est_es_n0_db: est,
+            downshift,
+        });
+        self.current = self.registry.get(sel).demapper(est);
+        self.active = sel;
+        self.last_switch = frame;
+        self.just_switched = true;
+        // The estimator restarts: evidence gathered under the old
+        // operating decision should not double-trigger.
+        self.filled = 0;
+        self.cursor = 0;
+        true
+    }
+}
+
 enum Receiver {
     Fixed(Box<dyn Demapper>),
     Adaptive(Box<Adaptive>),
+    Switching(Box<Switching>),
 }
 
 /// One link streaming frames through a scripted time-varying channel.
@@ -327,6 +459,7 @@ impl OnlineLink {
         let demapper_m = match &receiver {
             Receiver::Fixed(d) => d.bits_per_symbol(),
             Receiver::Adaptive(a) => a.hybrid.bits_per_symbol(),
+            Receiver::Switching(s) => s.current.bits_per_symbol(),
         };
         assert_eq!(
             m, demapper_m,
@@ -346,6 +479,15 @@ impl OnlineLink {
                 p.pilot_symbols > 0,
                 "pilot monitoring needs pilot_symbols > 0 (an adaptive \
                  receiver without evidence can never trigger)"
+            );
+        }
+        // The switching receiver's SNR estimator is pilot-driven
+        // unconditionally — same misconfiguration guard.
+        if matches!(receiver, Receiver::Switching(_)) {
+            assert!(
+                p.pilot_symbols > 0,
+                "backend switching needs pilot_symbols > 0 (the SNR \
+                 estimator is data-aided from the pilot prefix)"
             );
         }
         let info_len = if p.monitor == Monitor::Ecc {
@@ -430,6 +572,52 @@ impl OnlineLink {
         Self::build(spec, constellation, Receiver::Adaptive(Box::new(adaptive)))
     }
 
+    /// The backend-switching receiver (`SwitchBackend` adaptation
+    /// action): every frame, a data-aided SNR estimate from the pilot
+    /// prefix drives [`BackendRegistry::select_or_best`] — the link
+    /// rides the registry's cost ladder instead of retraining. The
+    /// initial backend is selected at [`SwitchPolicy::initial_es_n0_db`];
+    /// the transmit constellation is the registry's (every entry of a
+    /// [`crate::registry::switch_registry`] shares it).
+    ///
+    /// # Panics
+    /// Panics on an empty registry, on mixed constellation widths
+    /// inside the registry, or when the spec has no pilot symbols.
+    pub fn switching(
+        spec: OnlineLinkSpec,
+        registry: Arc<BackendRegistry>,
+        policy: SwitchPolicy,
+    ) -> Self {
+        assert!(!registry.is_empty(), "switching needs ≥ 1 backend");
+        assert!(policy.window_frames >= 1, "estimator window must be ≥ 1");
+        assert!(
+            policy.ber_target > 0.0 && policy.es_floor_db < policy.es_ceil_db,
+            "degenerate switch policy"
+        );
+        let constellation = registry.iter().next().unwrap().1.constellation().clone();
+        let active = registry.select_or_best(policy.initial_es_n0_db, policy.ber_target);
+        let current = registry.get(active).demapper(policy.initial_es_n0_db);
+        let switching = Switching {
+            registry,
+            policy,
+            active,
+            current,
+            win_sig: vec![0.0; policy.window_frames],
+            win_err: vec![0.0; policy.window_frames],
+            filled: 0,
+            cursor: 0,
+            last_switch: 0,
+            just_switched: false,
+            trace: Vec::new(),
+            events: Vec::new(),
+        };
+        Self::build(
+            spec,
+            constellation,
+            Receiver::Switching(Box::new(switching)),
+        )
+    }
+
     /// The link spec.
     pub fn spec(&self) -> &OnlineLinkSpec {
         &self.spec
@@ -445,19 +633,45 @@ impl OnlineLink {
         &self.log
     }
 
-    /// Completed trigger→swap cycles (empty for fixed receivers).
+    /// Completed trigger→swap cycles (empty for fixed and switching
+    /// receivers).
     pub fn events(&self) -> &[RetrainEvent] {
         match &self.receiver {
-            Receiver::Fixed(_) => &[],
             Receiver::Adaptive(a) => &a.events,
+            _ => &[],
+        }
+    }
+
+    /// Backend switches so far (empty for non-switching receivers).
+    pub fn switch_events(&self) -> &[SwitchEvent] {
+        match &self.receiver {
+            Receiver::Switching(s) => &s.events,
+            _ => &[],
+        }
+    }
+
+    /// The live registry handle (switching receivers only).
+    pub fn active_backend(&self) -> Option<BackendHandle> {
+        match &self.receiver {
+            Receiver::Switching(s) => Some(s.active),
+            _ => None,
+        }
+    }
+
+    /// Per-frame backend trace — `trace[f]` is the registry index
+    /// that demapped frame `f` (empty for non-switching receivers).
+    pub fn backend_trace(&self) -> &[u32] {
+        match &self.receiver {
+            Receiver::Switching(s) => &s.trace,
+            _ => &[],
         }
     }
 
     /// The live integer deployment (adaptive receivers only).
     pub fn deployment(&self) -> Option<&QuantizedGraph> {
         match &self.receiver {
-            Receiver::Fixed(_) => None,
             Receiver::Adaptive(a) => Some(&a.deployment),
+            _ => None,
         }
     }
 
@@ -473,10 +687,12 @@ impl OnlineLink {
         let n = self.spec.params.frame_symbols;
         let p = self.spec.params.pilot_symbols;
 
-        // 0. A matured retrain enters the datapath before the frame.
+        // 0. A matured retrain (or a backend switch decided on the
+        // previous frame's evidence) enters the datapath here.
         let swapped = match &mut self.receiver {
             Receiver::Fixed(_) => false,
             Receiver::Adaptive(a) => a.maybe_swap(frame),
+            Receiver::Switching(s) => std::mem::take(&mut s.just_switched),
         };
 
         // 1. Frame construction: pilot prefix, then payload (uniform
@@ -507,6 +723,7 @@ impl OnlineLink {
         let demapper: &dyn Demapper = match &self.receiver {
             Receiver::Fixed(d) => d.as_ref(),
             Receiver::Adaptive(a) => &a.hybrid,
+            Receiver::Switching(s) => s.current.as_ref(),
         };
         demapper.demap_block(&self.block, &mut self.llrs);
         for (b, &l) in self.rx_bits.iter_mut().zip(self.llrs.iter()) {
@@ -530,6 +747,21 @@ impl OnlineLink {
 
         // 4. Monitor + trigger.
         let mut triggered = false;
+        if let Receiver::Switching(s) = &mut self.receiver {
+            // The trace records who demapped *this* frame before the
+            // decision runs — a switch takes effect next frame.
+            s.trace.push(s.active.index() as u32);
+            let mut sig = 0.0f64;
+            let mut err = 0.0f64;
+            for i in 0..p {
+                let x = self.constellation.point(self.tx_syms[i]);
+                let y = self.block[i];
+                sig += f64::from(x.re) * f64::from(x.re) + f64::from(x.im) * f64::from(x.im);
+                let (dr, di) = (f64::from(y.re - x.re), f64::from(y.im - x.im));
+                err += dr * dr + di * di;
+            }
+            triggered = s.observe_pilots(frame, sig, err);
+        }
         if let Receiver::Adaptive(a) = &mut self.receiver {
             match self.spec.params.monitor {
                 Monitor::Pilot => {
@@ -708,10 +940,21 @@ pub fn drift_families<'a>(pipe: &'a HybridPipeline, params: &LinkParams) -> Vec<
         pipe.hybrid_demapper().is_some(),
         "drift families need extracted centroids: run extract_centroids() first"
     );
-    let sigma = pipe.config().sigma();
-    let qam = Constellation::qam_gray(pipe.config().num_symbols());
-    let learned = pipe.constellation();
-    let snap = pipe.ann_demapper().model().snapshot();
+    // The two fixed families come straight out of the shared backend
+    // registry, pinned byte-identical to the hand-built demappers they
+    // replaced (tests/registry_determinism.rs): at es = the config's
+    // Es/N0, `conventional` builds max-log with the same σ as
+    // `SystemConfig::sigma()`, and `AE-inference` shares a snapshot
+    // round-trip of the trained network.
+    let registry = paper_registry(pipe, &SoftDemapperConfig::paper_default(), &[]);
+    let es = pipe.config().es_n0_db();
+    let stock = |name: &str| {
+        registry
+            .get(registry.find(name).expect("stock backend"))
+            .clone()
+    };
+    let conv = stock("conventional");
+    let ann = stock("AE-inference");
     let spec = {
         let params = params.clone();
         move |traj: &Trajectory, seed: u64| OnlineLinkSpec {
@@ -722,7 +965,6 @@ pub fn drift_families<'a>(pipe: &'a HybridPipeline, params: &LinkParams) -> Vec<
     };
     let conv_spec = spec.clone();
     let frozen_spec = spec.clone();
-    let conv_tx = qam.clone();
     vec![
         DriftFamily {
             name: "static-conventional".to_string(),
@@ -730,8 +972,8 @@ pub fn drift_families<'a>(pipe: &'a HybridPipeline, params: &LinkParams) -> Vec<
             build: Box::new(move |traj, seed| {
                 OnlineLink::fixed(
                     conv_spec(traj, seed),
-                    conv_tx.clone(),
-                    Box::new(MaxLogMap::new(qam.clone(), sigma)),
+                    conv.constellation().clone(),
+                    Box::new(conv.demapper(es)),
                 )
             }),
         },
@@ -741,8 +983,8 @@ pub fn drift_families<'a>(pipe: &'a HybridPipeline, params: &LinkParams) -> Vec<
             build: Box::new(move |traj, seed| {
                 OnlineLink::fixed(
                     frozen_spec(traj, seed),
-                    learned.clone(),
-                    Box::new(NeuralDemapper::new(Sequential::from_snapshot(snap.clone()))),
+                    ann.constellation().clone(),
+                    Box::new(ann.demapper(es)),
                 )
             }),
         },
@@ -1207,9 +1449,372 @@ pub fn run_drift_campaign(spec: &DriftCampaignSpec<'_>) -> DriftRuntimeReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Backend-switch campaign: one registry, many links, per-frame traces.
+// ---------------------------------------------------------------------
+
+/// A backend-switching campaign: independent [`OnlineLink::switching`]
+/// links riding one scripted trajectory over one shared registry.
+pub struct SwitchCampaignSpec {
+    /// Campaign label recorded in the artefact.
+    pub name: String,
+    /// The backend line-up every link selects from.
+    pub registry: Arc<BackendRegistry>,
+    /// The scripted channel (shared by every link).
+    pub trajectory: Trajectory,
+    /// Independent links.
+    pub links: u32,
+    /// Shared link parameters.
+    pub params: LinkParams,
+    /// Shared switch policy.
+    pub policy: SwitchPolicy,
+    /// Base seed; per-link seeds are derived deterministically.
+    pub seed: u64,
+}
+
+/// One backend switch of one link, as serialised in the artefact.
+#[derive(Clone, Debug)]
+pub struct SwitchEventRecord {
+    /// Link index.
+    pub link: u32,
+    /// Frame whose evidence triggered the switch.
+    pub frame: u64,
+    /// Registry index demapping up to and including `frame`.
+    pub from: u32,
+    /// Registry index demapping from `frame + 1`.
+    pub to: u32,
+    /// The SNR estimate (Es/N0 dB) behind the decision.
+    pub est_es_n0_db: f64,
+    /// True when the switch moved to a cheaper backend.
+    pub downshift: bool,
+}
+
+hybridem_mathkit::impl_to_json!(SwitchEventRecord {
+    link,
+    frame,
+    from,
+    to,
+    est_es_n0_db,
+    downshift,
+});
+
+impl FromJson for SwitchEventRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            link: u32::from_json(v.field("link")?)?,
+            frame: u64::from_json(v.field("frame")?)?,
+            from: u32::from_json(v.field("from")?)?,
+            to: u32::from_json(v.field("to")?)?,
+            est_es_n0_db: f64::from_json(v.field("est_es_n0_db")?)?,
+            downshift: bool::from_json(v.field("downshift")?)?,
+        })
+    }
+}
+
+/// One link of the backend-switch artefact: the per-frame backend
+/// trace, per-frame payload errors, and the switch log.
+#[derive(Clone, Debug)]
+pub struct SwitchLinkRow {
+    /// Link index.
+    pub link: u32,
+    /// `active[f]` = registry index that demapped frame `f`.
+    pub active: Vec<u32>,
+    /// Payload bit errors per frame.
+    pub bit_errors: Vec<u64>,
+    /// Switches to a cheaper backend.
+    pub downshifts: u64,
+    /// Switches to a costlier backend.
+    pub upshifts: u64,
+    /// The link's switch log, in frame order.
+    pub events: Vec<SwitchEventRecord>,
+}
+
+hybridem_mathkit::impl_to_json!(SwitchLinkRow {
+    link,
+    active,
+    bit_errors,
+    downshifts,
+    upshifts,
+    events,
+});
+
+impl FromJson for SwitchLinkRow {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            link: u32::from_json(v.field("link")?)?,
+            active: Vec::<u32>::from_json(v.field("active")?)?,
+            bit_errors: Vec::<u64>::from_json(v.field("bit_errors")?)?,
+            downshifts: u64::from_json(v.field("downshifts")?)?,
+            upshifts: u64::from_json(v.field("upshifts")?)?,
+            events: Vec::<SwitchEventRecord>::from_json(v.field("events")?)?,
+        })
+    }
+}
+
+/// The backend-switch artefact (`backend_switch.json`): the registry's
+/// backend table plus one row per link — a pure function of
+/// `(spec, seed)`, byte-identical at any `HYBRIDEM_THREADS`.
+#[derive(Clone, Debug)]
+pub struct BackendSwitchReport {
+    /// Campaign label.
+    pub name: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Links in the campaign.
+    pub links: u32,
+    /// Scripted frames per link.
+    pub frames: u64,
+    /// Symbols per frame.
+    pub frame_symbols: u64,
+    /// Pilot symbols per frame (the SNR estimator's evidence).
+    pub pilot_symbols: u64,
+    /// The selection rule's BER target.
+    pub ber_target: f64,
+    /// Registry names, indexed by the `active`/`from`/`to` fields.
+    pub backends: Vec<String>,
+    /// Registry index selected at the policy's initial operating point.
+    pub initial_backend: u32,
+    /// One row per link, in link order.
+    pub rows: Vec<SwitchLinkRow>,
+    /// Total switches to cheaper backends across links.
+    pub downshifts: u64,
+    /// Total switches to costlier backends across links.
+    pub upshifts: u64,
+}
+
+hybridem_mathkit::impl_to_json!(BackendSwitchReport {
+    name,
+    seed,
+    links,
+    frames,
+    frame_symbols,
+    pilot_symbols,
+    ber_target,
+    backends,
+    initial_backend,
+    rows,
+    downshifts,
+    upshifts,
+});
+
+impl FromJson for BackendSwitchReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            links: u32::from_json(v.field("links")?)?,
+            frames: u64::from_json(v.field("frames")?)?,
+            frame_symbols: u64::from_json(v.field("frame_symbols")?)?,
+            pilot_symbols: u64::from_json(v.field("pilot_symbols")?)?,
+            ber_target: f64::from_json(v.field("ber_target")?)?,
+            backends: Vec::<String>::from_json(v.field("backends")?)?,
+            initial_backend: u32::from_json(v.field("initial_backend")?)?,
+            rows: Vec::<SwitchLinkRow>::from_json(v.field("rows")?)?,
+            downshifts: u64::from_json(v.field("downshifts")?)?,
+            upshifts: u64::from_json(v.field("upshifts")?)?,
+        })
+    }
+}
+
+impl BackendSwitchReport {
+    /// Schema/invariant validation of a (re-loaded) artefact: trace
+    /// and error vectors span the stream, every index resolves in the
+    /// backend table, the trace is consistent with the event log
+    /// (each event flips `active` at its frame boundary, nothing else
+    /// does), and the shift counters match the events they summarise.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.links == 0 {
+            return Err("links must be positive".to_string());
+        }
+        if self.backends.is_empty() {
+            return Err("backend table must not be empty".to_string());
+        }
+        if u64::from(self.initial_backend) >= self.backends.len() as u64 {
+            return Err("initial_backend outside the backend table".to_string());
+        }
+        if self.rows.len() as u64 != u64::from(self.links) {
+            return Err("one row per link required".to_string());
+        }
+        let (mut down, mut up) = (0u64, 0u64);
+        for (i, r) in self.rows.iter().enumerate() {
+            let ctx = |msg: String| format!("link {i}: {msg}");
+            if r.link != i as u32 {
+                return Err(ctx("rows must be in link order".to_string()));
+            }
+            if r.active.len() as u64 != self.frames || r.bit_errors.len() as u64 != self.frames {
+                return Err(ctx("trace length differs from the stream".to_string()));
+            }
+            if r.active.first() != Some(&self.initial_backend) {
+                return Err(ctx("trace must start on the initial backend".to_string()));
+            }
+            if r.active
+                .iter()
+                .any(|&a| u64::from(a) >= self.backends.len() as u64)
+            {
+                return Err(ctx("trace index outside the backend table".to_string()));
+            }
+            let (mut rd, mut ru) = (0u64, 0u64);
+            let mut at = 0usize;
+            for (f, w) in r.active.windows(2).enumerate() {
+                if w[0] == w[1] {
+                    continue;
+                }
+                let Some(e) = r.events.get(at) else {
+                    return Err(ctx(format!("trace flips at frame {f} without an event")));
+                };
+                if e.link != r.link
+                    || e.frame != f as u64
+                    || e.from != w[0]
+                    || e.to != w[1]
+                    || e.from == e.to
+                    || !e.est_es_n0_db.is_finite()
+                {
+                    return Err(ctx(format!("event {at} inconsistent with the trace")));
+                }
+                if e.downshift {
+                    rd += 1;
+                } else {
+                    ru += 1;
+                }
+                at += 1;
+            }
+            // A trailing event may land on the last frame: the switch
+            // was decided but the stream ended before it demapped.
+            for e in &r.events[at..] {
+                if e.frame + 1 != self.frames || e.from == e.to {
+                    return Err(ctx(format!("dangling event {e:?}")));
+                }
+                if e.downshift {
+                    rd += 1;
+                } else {
+                    ru += 1;
+                }
+            }
+            if rd != r.downshifts || ru != r.upshifts {
+                return Err(ctx("shift counters disagree with the event log".to_string()));
+            }
+            down += rd;
+            up += ru;
+        }
+        if down != self.downshifts || up != self.upshifts {
+            return Err("campaign shift totals disagree with the rows".to_string());
+        }
+        Ok(())
+    }
+
+    /// Validates the scenario's claim: the campaign exercised the
+    /// cost ladder in **both** directions — at least one downshift
+    /// and at least one upshift somewhere across the links.
+    pub fn validate_switching(&self) -> Result<(), String> {
+        if self.downshifts == 0 {
+            return Err("expected ≥ 1 downshift to a cheaper backend".to_string());
+        }
+        if self.upshifts == 0 {
+            return Err("expected ≥ 1 upshift back to a costlier backend".to_string());
+        }
+        Ok(())
+    }
+
+    /// Renders one summary line per link as a Markdown table.
+    pub fn markdown_table(&self) -> String {
+        let mut s = String::from(
+            "| Link | switches | downshifts | upshifts | backends visited |\n|---|---|---|---|---|\n",
+        );
+        for r in &self.rows {
+            let mut visited: Vec<&str> = Vec::new();
+            for &a in &r.active {
+                let name = self.backends[a as usize].as_str();
+                if visited.last() != Some(&name) {
+                    visited.push(name);
+                }
+            }
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                r.link,
+                r.events.len(),
+                r.downshifts,
+                r.upshifts,
+                visited.join(" → ")
+            ));
+        }
+        s
+    }
+}
+
+/// Runs a backend-switch campaign: links shard over a [`ShardRunner`]
+/// (per-link seed and state), rows are collected in link order — the
+/// artefact is a pure function of `(spec, seed)`, independent of
+/// `HYBRIDEM_THREADS`.
+pub fn run_switch_campaign(spec: &SwitchCampaignSpec) -> BackendSwitchReport {
+    assert!(spec.links > 0, "campaign needs ≥ 1 link");
+    assert!(!spec.registry.is_empty(), "campaign needs ≥ 1 backend");
+    let frames = spec.trajectory.total_frames();
+    let initial = spec
+        .registry
+        .select_or_best(spec.policy.initial_es_n0_db, spec.policy.ber_target);
+    let mut runner: ShardRunner<Option<OnlineLink>> = ShardRunner::new(spec.links, |_| None);
+    runner.run_round(|i, slot| {
+        let link_spec = OnlineLinkSpec {
+            trajectory: spec.trajectory.clone(),
+            seed: link_seed(spec.seed, 0, 0, i),
+            params: spec.params.clone(),
+        };
+        let mut link = OnlineLink::switching(link_spec, spec.registry.clone(), spec.policy);
+        link.run();
+        *slot = Some(link);
+    });
+    let mut rows = Vec::with_capacity(spec.links as usize);
+    let (mut downshifts, mut upshifts) = (0u64, 0u64);
+    for (li, slot) in runner.states().iter().enumerate() {
+        let link = slot.as_ref().expect("every shard built its link");
+        assert_eq!(link.frames(), frames, "link streamed the whole script");
+        let events: Vec<SwitchEventRecord> = link
+            .switch_events()
+            .iter()
+            .map(|e| SwitchEventRecord {
+                link: li as u32,
+                frame: e.frame,
+                from: e.from.index() as u32,
+                to: e.to.index() as u32,
+                est_es_n0_db: e.est_es_n0_db,
+                downshift: e.downshift,
+            })
+            .collect();
+        let down = events.iter().filter(|e| e.downshift).count() as u64;
+        let up = events.len() as u64 - down;
+        downshifts += down;
+        upshifts += up;
+        rows.push(SwitchLinkRow {
+            link: li as u32,
+            active: link.backend_trace().to_vec(),
+            bit_errors: link.log().iter().map(|r| r.payload_bit_errors).collect(),
+            downshifts: down,
+            upshifts: up,
+            events,
+        });
+    }
+    BackendSwitchReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        links: spec.links,
+        frames,
+        frame_symbols: spec.params.frame_symbols as u64,
+        pilot_symbols: spec.params.pilot_symbols as u64,
+        ber_target: spec.policy.ber_target,
+        backends: spec.registry.names(),
+        initial_backend: initial.index() as u32,
+        rows,
+        downshifts,
+        upshifts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{Backend, BackendCost};
+    use hybridem_comm::demapper::MaxLogMap;
+    use hybridem_comm::snr::noise_sigma;
 
     fn noiseless_spec(frames: u64, seed: u64) -> OnlineLinkSpec {
         OnlineLinkSpec::new(
@@ -1432,6 +2037,170 @@ mod tests {
         let mut spec = noiseless_spec(1, 0);
         spec.params.pilot_symbols = 0;
         let _ = OnlineLink::adaptive(spec, &pipe);
+    }
+
+    /// A synthetic backend with a step-function BER model: meets any
+    /// sane target at/above `ok_above_db`, hopeless below — gives the
+    /// switching tests exact control of the selection threshold.
+    struct FakeBackend {
+        name: &'static str,
+        tx: Constellation,
+        cycles: f64,
+        ok_above_db: f64,
+    }
+
+    impl Backend for FakeBackend {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn constellation(&self) -> &Constellation {
+            &self.tx
+        }
+        fn demapper(&self, es_n0_db: f64) -> Arc<dyn Demapper> {
+            Arc::new(MaxLogMap::new(
+                self.tx.clone(),
+                noise_sigma(es_n0_db, 1.0) as f32,
+            ))
+        }
+        fn cost(&self, _es_n0_db: f64) -> BackendCost {
+            BackendCost {
+                cycles_per_symbol: self.cycles,
+                energy_per_symbol_j: 1e-9 * self.cycles,
+            }
+        }
+        fn predicted_ber(&self, es_n0_db: f64) -> f64 {
+            if es_n0_db >= self.ok_above_db {
+                1e-3
+            } else {
+                1.0
+            }
+        }
+    }
+
+    /// Two-entry registry: an always-accurate 16-cycle fallback and a
+    /// 2-cycle backend that only works from 15 dB Es/N0 up.
+    fn fake_registry() -> Arc<BackendRegistry> {
+        let qam = Constellation::qam_gray(16);
+        let mut reg = BackendRegistry::new();
+        reg.register(Arc::new(FakeBackend {
+            name: "precise",
+            tx: qam.clone(),
+            cycles: 16.0,
+            ok_above_db: f64::NEG_INFINITY,
+        }));
+        reg.register(Arc::new(FakeBackend {
+            name: "cheap",
+            tx: qam,
+            cycles: 2.0,
+            ok_above_db: 15.0,
+        }));
+        Arc::new(reg)
+    }
+
+    fn switch_policy() -> SwitchPolicy {
+        SwitchPolicy {
+            ber_target: 1e-2,
+            window_frames: 4,
+            min_dwell_frames: 4,
+            initial_es_n0_db: 10.0,
+            ..SwitchPolicy::default()
+        }
+    }
+
+    fn up_down_trajectory() -> Trajectory {
+        Trajectory::new("up-down")
+            .hold(15, ChannelState::clean(10.0))
+            .hold(30, ChannelState::clean(20.0))
+            .hold(30, ChannelState::clean(10.0))
+    }
+
+    #[test]
+    fn switching_link_rides_the_snr_ramp_both_ways() {
+        let reg = fake_registry();
+        let precise = reg.find("precise").unwrap();
+        let cheap = reg.find("cheap").unwrap();
+        let spec = OnlineLinkSpec::new(up_down_trajectory(), 21);
+        let mut link = OnlineLink::switching(spec, reg, switch_policy());
+        assert_eq!(link.active_backend(), Some(precise));
+        link.run();
+        let events = link.switch_events();
+        assert!(events.len() >= 2, "one switch each way: {events:?}");
+        let down = events.iter().find(|e| e.downshift).expect("a downshift");
+        assert_eq!((down.from, down.to), (precise, cheap));
+        assert!(down.est_es_n0_db >= 15.0, "downshift needs SNR headroom");
+        let up = events.iter().find(|e| !e.downshift).expect("an upshift");
+        assert_eq!((up.from, up.to), (cheap, precise));
+        assert!(up.frame > down.frame, "upshift follows the SNR drop");
+        // Trace bookkeeping: who demapped each frame, switch visible
+        // one frame after its decision, `swapped` flagged there.
+        let trace = link.backend_trace();
+        assert_eq!(trace.len() as u64, link.frames());
+        assert_eq!(trace[down.frame as usize] as usize, precise.index());
+        assert_eq!(trace[down.frame as usize + 1] as usize, cheap.index());
+        assert!(link.log()[down.frame as usize + 1].swapped);
+        assert!(link.log()[down.frame as usize].triggered);
+        assert!(link.events().is_empty(), "no retrain events on switching");
+        assert!(link.deployment().is_none());
+    }
+
+    #[test]
+    fn switch_campaign_round_trips_json_and_is_deterministic() {
+        use hybridem_mathkit::json::ToJson;
+        let run = || {
+            let spec = SwitchCampaignSpec {
+                name: "mini-switch".to_string(),
+                registry: fake_registry(),
+                trajectory: up_down_trajectory(),
+                links: 3,
+                params: LinkParams::default(),
+                policy: switch_policy(),
+                seed: 5,
+            };
+            run_switch_campaign(&spec)
+        };
+        let report = run();
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.frames, 75);
+        assert_eq!(report.backends, vec!["precise", "cheap"]);
+        assert_eq!(report.initial_backend, 0);
+        report.validate().expect("artefact invariants");
+        report.validate_switching().expect("both shift directions");
+        let text = report.to_json().to_string_pretty();
+        let back = BackendSwitchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        back.validate().expect("reloaded artefact invariants");
+        assert_eq!(back.to_json().to_string_pretty(), text);
+        assert_eq!(run().to_json().to_string_pretty(), text, "pure function");
+        let md = report.markdown_table();
+        assert!(md.contains("precise → cheap → precise"), "{md}");
+    }
+
+    #[test]
+    fn switch_validate_rejects_trace_event_mismatch() {
+        let report = run_switch_campaign(&SwitchCampaignSpec {
+            name: "tamper".to_string(),
+            registry: fake_registry(),
+            trajectory: up_down_trajectory(),
+            links: 1,
+            params: LinkParams::default(),
+            policy: switch_policy(),
+            seed: 5,
+        });
+        let mut tampered = report.clone();
+        tampered.rows[0].events.clear();
+        tampered.rows[0].downshifts = 0;
+        tampered.rows[0].upshifts = 0;
+        tampered.downshifts = 0;
+        tampered.upshifts = 0;
+        let err = tampered.validate().unwrap_err();
+        assert!(err.contains("without an event"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs pilot_symbols > 0")]
+    fn switching_without_pilots_rejected() {
+        let mut spec = OnlineLinkSpec::new(up_down_trajectory(), 0);
+        spec.params.pilot_symbols = 0;
+        let _ = OnlineLink::switching(spec, fake_registry(), switch_policy());
     }
 
     #[test]

@@ -156,6 +156,10 @@ impl SessionCfg {
 /// makes the aggregate report byte-identical across worker counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
+    /// Frames offered to admission control (accepted **and** shed) —
+    /// the left-hand side of the frame-conservation invariant
+    /// `submitted = frames + shed + dropped (+ still pending)`.
+    pub submitted_frames: u64,
     /// Frames served.
     pub frames: u64,
     /// Payload bits transmitted.
@@ -170,12 +174,18 @@ pub struct SessionStats {
     pub ecc_corrected: u64,
     /// Frames refused by admission control.
     pub shed_frames: u64,
+    /// Frames accepted but still queued when the session closed.
+    /// Closing is the caller's choice (not backpressure), but the
+    /// frames must still be accounted — they were admitted and never
+    /// served.
+    pub dropped_frames: u64,
 }
 
 impl SessionStats {
     /// Adds `other` into `self` (associative + commutative: all
     /// fields are counts).
     pub fn merge(&mut self, other: &SessionStats) {
+        self.submitted_frames += other.submitted_frames;
         self.frames += other.frames;
         self.payload_bits += other.payload_bits;
         self.payload_bit_errors += other.payload_bit_errors;
@@ -183,6 +193,7 @@ impl SessionStats {
         self.pilot_bit_errors += other.pilot_bit_errors;
         self.ecc_corrected += other.ecc_corrected;
         self.shed_frames += other.shed_frames;
+        self.dropped_frames += other.dropped_frames;
     }
 
     /// Payload BER (0 when no payload was served — never NaN).
@@ -206,6 +217,8 @@ pub struct AggregateReport {
     pub sessions_closed: u64,
     /// Serving rounds executed.
     pub rounds: u64,
+    /// Frames offered to admission control (accepted and shed).
+    pub submitted_frames: u64,
     /// Frames served.
     pub frames: u64,
     /// Payload bits transmitted.
@@ -220,12 +233,17 @@ pub struct AggregateReport {
     pub ecc_corrected: u64,
     /// Frames refused by admission control.
     pub shed_frames: u64,
+    /// Frames accepted but dropped unserved by a session close.
+    pub dropped_frames: u64,
+    /// Frames accepted and still queued on open sessions.
+    pub pending_frames: u64,
 }
 
 hybridem_mathkit::impl_to_json!(AggregateReport {
     sessions_open,
     sessions_closed,
     rounds,
+    submitted_frames,
     frames,
     payload_bits,
     payload_bit_errors,
@@ -233,6 +251,8 @@ hybridem_mathkit::impl_to_json!(AggregateReport {
     pilot_bit_errors,
     ecc_corrected,
     shed_frames,
+    dropped_frames,
+    pending_frames,
 });
 
 impl FromJson for AggregateReport {
@@ -241,6 +261,7 @@ impl FromJson for AggregateReport {
             sessions_open: u64::from_json(v.field("sessions_open")?)?,
             sessions_closed: u64::from_json(v.field("sessions_closed")?)?,
             rounds: u64::from_json(v.field("rounds")?)?,
+            submitted_frames: u64::from_json(v.field("submitted_frames")?)?,
             frames: u64::from_json(v.field("frames")?)?,
             payload_bits: u64::from_json(v.field("payload_bits")?)?,
             payload_bit_errors: u64::from_json(v.field("payload_bit_errors")?)?,
@@ -248,6 +269,8 @@ impl FromJson for AggregateReport {
             pilot_bit_errors: u64::from_json(v.field("pilot_bit_errors")?)?,
             ecc_corrected: u64::from_json(v.field("ecc_corrected")?)?,
             shed_frames: u64::from_json(v.field("shed_frames")?)?,
+            dropped_frames: u64::from_json(v.field("dropped_frames")?)?,
+            pending_frames: u64::from_json(v.field("pending_frames")?)?,
         })
     }
 }
@@ -263,13 +286,27 @@ impl AggregateReport {
     }
 
     /// Internal-consistency check: error counts never exceed their bit
-    /// counts. Returns the first violation.
+    /// counts, and every submitted frame is accounted for exactly once
+    /// (`submitted = served + shed + dropped + pending`). Returns the
+    /// first violation.
     pub fn validate(&self) -> Result<(), String> {
         if self.payload_bit_errors > self.payload_bits {
             return Err("more payload errors than bits".to_string());
         }
         if self.pilot_bit_errors > self.pilot_bits {
             return Err("more pilot errors than bits".to_string());
+        }
+        let accounted = self.frames + self.shed_frames + self.dropped_frames + self.pending_frames;
+        if self.submitted_frames != accounted {
+            return Err(format!(
+                "frame conservation broken: {} submitted vs {} served + {} shed \
+                 + {} dropped + {} pending",
+                self.submitted_frames,
+                self.frames,
+                self.shed_frames,
+                self.dropped_frames,
+                self.pending_frames
+            ));
         }
         Ok(())
     }
@@ -588,12 +625,17 @@ impl LinkServer {
     /// the slot's generation is bumped so stale handles are rejected,
     /// and the slot joins the free list for reuse. Returns the
     /// session's final counters. Queued-but-unserved frames are
-    /// dropped silently — closing is the caller's choice, not shed.
+    /// counted as `dropped_frames` — closing is the caller's choice
+    /// (not shed), but the admitted frames must stay accounted, or
+    /// the aggregate's conservation invariant would leak on every
+    /// close.
     pub fn close_session(&mut self, id: SessionId) -> Result<SessionStats, SessionError> {
         let slot = self.slot_mut(id)?;
         let session = slot.session.take().expect("checked occupied");
         slot.generation = slot.generation.wrapping_add(1);
-        let stats = session.into_inner().unwrap().stats;
+        let session = session.into_inner().unwrap();
+        let mut stats = session.stats;
+        stats.dropped_frames += u64::from(session.pending);
         self.retired.merge(&stats);
         self.closed += 1;
         self.free.push(id.index);
@@ -618,8 +660,12 @@ impl LinkServer {
     /// session's statistics; the queue never exceeds its bound.
     pub fn submit(&mut self, id: SessionId, frames: u32) -> Result<Admit, SessionError> {
         let cap = self.cfg.queue_cap;
+        // The slab check runs before any counter moves: a stale handle
+        // must not touch the slot's current tenant (its shed/submit
+        // counts belong to a different session).
         let slot = self.slot_mut(id)?;
         let s = slot.session.as_mut().unwrap().get_mut().unwrap();
+        s.stats.submitted_frames += u64::from(frames);
         if frames > cap - s.pending {
             s.stats.shed_frames += u64::from(frames);
             Ok(Admit::Shed)
@@ -627,6 +673,62 @@ impl LinkServer {
             s.pending += frames;
             Ok(Admit::Accepted)
         }
+    }
+
+    /// Rebinds an open session to another registered backend: the next
+    /// served frame demaps through the new backend, and the round
+    /// planner's grouping moves the session between batch groups
+    /// automatically (grouping is recomputed from `session.backend`
+    /// every round). Constellations must agree — the transmitter does
+    /// not change mid-stream, only the demapper implementation does
+    /// (the registry's switch line-up shares one constellation for
+    /// exactly this reason).
+    ///
+    /// # Panics
+    /// Panics on an unknown backend id or a constellation mismatch.
+    pub fn switch_backend(
+        &mut self,
+        id: SessionId,
+        backend: BackendId,
+    ) -> Result<(), SessionError> {
+        let to = self
+            .backends
+            .get(backend.0 as usize)
+            .expect("unknown backend id");
+        let to_points = to.constellation.points().to_vec();
+        let slot = self
+            .slots
+            .get_mut(id.index as usize)
+            .ok_or(SessionError::Stale)?;
+        if slot.generation != id.generation || slot.session.is_none() {
+            return Err(SessionError::Stale);
+        }
+        let s = slot.session.as_mut().unwrap().get_mut().unwrap();
+        let from = &self.backends[s.backend as usize];
+        assert_eq!(
+            from.constellation.points(),
+            &to_points[..],
+            "backend switch must preserve the transmit constellation"
+        );
+        s.backend = backend.0;
+        Ok(())
+    }
+
+    /// Registers every backend of a [`BackendRegistry`](crate::registry::BackendRegistry) at one
+    /// operating point, in registration order; `result[h.index()]` is
+    /// the server-side id of registry handle `h`. Sessions opened on
+    /// one of these ids can [`LinkServer::switch_backend`] to any
+    /// other whose backend shares the constellation — for a
+    /// [`crate::registry::switch_registry`] line-up, all of them.
+    pub fn register_registry(
+        &mut self,
+        registry: &crate::registry::BackendRegistry,
+        es_n0_db: f64,
+    ) -> Vec<BackendId> {
+        registry
+            .iter()
+            .map(|(_, b)| self.register_backend(b.constellation().clone(), b.demapper(es_n0_db)))
+            .collect()
     }
 
     /// Serves one frame on every session with queued work; returns the
@@ -783,9 +885,12 @@ impl LinkServer {
     pub fn aggregate(&mut self) -> AggregateReport {
         let mut total = SessionStats::default();
         let mut open = 0u64;
+        let mut pending = 0u64;
         for slot in &mut self.slots {
             if let Some(cell) = slot.session.as_mut() {
-                total.merge(&cell.get_mut().unwrap().stats);
+                let s = cell.get_mut().unwrap();
+                total.merge(&s.stats);
+                pending += u64::from(s.pending);
                 open += 1;
             }
         }
@@ -794,6 +899,7 @@ impl LinkServer {
             sessions_open: open,
             sessions_closed: self.closed,
             rounds: self.rounds,
+            submitted_frames: total.submitted_frames,
             frames: total.frames,
             payload_bits: total.payload_bits,
             payload_bit_errors: total.payload_bit_errors,
@@ -801,6 +907,8 @@ impl LinkServer {
             pilot_bit_errors: total.pilot_bit_errors,
             ecc_corrected: total.ecc_corrected,
             shed_frames: total.shed_frames,
+            dropped_frames: total.dropped_frames,
+            pending_frames: pending,
         }
     }
 }
@@ -928,6 +1036,139 @@ mod tests {
         let stats = server.session_stats(id).unwrap();
         assert_eq!(stats.frames, 4);
         assert_eq!(stats.shed_frames, 3);
+    }
+
+    #[test]
+    fn close_counts_queued_frames_as_dropped() {
+        let (mut server, backend) = qam_server(ServerCfg::default());
+        let id = server.open_session(clean_session(backend, 4));
+        server.submit(id, 5).unwrap();
+        server.serve_round(); // serves exactly one frame
+        let stats = server.close_session(id).unwrap();
+        assert_eq!(stats.submitted_frames, 5);
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.dropped_frames, 4, "pending at close must be counted");
+        let agg = server.aggregate();
+        agg.validate()
+            .expect("conservation holds through the close");
+        assert_eq!(agg.dropped_frames, 4);
+        assert_eq!(agg.pending_frames, 0);
+        assert_eq!(
+            agg.submitted_frames,
+            agg.frames + agg.shed_frames + agg.dropped_frames + agg.pending_frames
+        );
+    }
+
+    #[test]
+    fn stale_submit_never_touches_the_slots_new_tenant() {
+        // Regression: a stale handle into a reused slab slot must be
+        // rejected *before* any counter moves, or the old session's
+        // traffic would pollute the new occupant's shed/submitted
+        // statistics.
+        let (mut server, backend) = qam_server(ServerCfg {
+            queue_cap: 2,
+            ..ServerCfg::default()
+        });
+        let old = server.open_session(clean_session(backend, 1));
+        server.close_session(old).unwrap();
+        let new = server.open_session(clean_session(backend, 2));
+        assert_eq!(new.index, old.index, "slot reuse is the precondition");
+        // Oversized and normal submits through the stale handle.
+        assert_eq!(server.submit(old, 100), Err(SessionError::Stale));
+        assert_eq!(server.submit(old, 1), Err(SessionError::Stale));
+        let stats = server.session_stats(new).unwrap();
+        assert_eq!(stats.submitted_frames, 0, "stale submit must not count");
+        assert_eq!(stats.shed_frames, 0, "stale shed must not count");
+        assert_eq!(server.pending(new).unwrap(), 0);
+        server.aggregate().validate().unwrap();
+    }
+
+    #[test]
+    fn switch_backend_migrates_between_batch_groups() {
+        // Two demappers over the same constellation but different σ:
+        // LLR magnitudes differ, hard decisions (and counters) agree
+        // on a clean channel. A session switched mid-stream must serve
+        // the remaining frames under the new backend's batch group and
+        // keep the aggregate byte-identical at any worker count.
+        let serve = |workers: usize| {
+            let qam = Constellation::qam_gray(16);
+            let mut server = LinkServer::new(ServerCfg {
+                workers,
+                ..ServerCfg::default()
+            });
+            let a = server
+                .register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam.clone(), 0.2)) as _);
+            let b = server.register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam, 0.4)) as _);
+            let ids: Vec<_> = (0..13)
+                .map(|i| {
+                    let mut cfg = clean_session(if i % 2 == 0 { a } else { b }, 300 + i);
+                    cfg.trajectory = Trajectory::constant("awgn", ChannelState::clean(9.0), 1);
+                    server.open_session(cfg)
+                })
+                .collect();
+            for &id in &ids {
+                server.submit(id, 2).unwrap();
+            }
+            server.serve();
+            // Mid-stream migration: every even session moves a → b.
+            for (i, &id) in ids.iter().enumerate() {
+                if i % 2 == 0 {
+                    server.switch_backend(id, b).unwrap();
+                }
+            }
+            for &id in &ids {
+                server.submit(id, 2).unwrap();
+            }
+            server.serve();
+            let agg = server.aggregate();
+            agg.validate().unwrap();
+            agg.to_json().to_string_pretty()
+        };
+        let baseline = serve(1);
+        assert_eq!(baseline, serve(4), "migration keeps worker determinism");
+    }
+
+    #[test]
+    fn switch_backend_rejects_stale_and_mismatched() {
+        let qam = Constellation::qam_gray(16);
+        let mut server = LinkServer::new(ServerCfg::default());
+        let a =
+            server.register_backend(qam.clone(), Arc::new(MaxLogMap::new(qam.clone(), 0.2)) as _);
+        let id = server.open_session(clean_session(a, 1));
+        server.close_session(id).unwrap();
+        assert_eq!(server.switch_backend(id, a), Err(SessionError::Stale));
+        // A different constellation must panic, not silently corrupt
+        // the session's transmit side.
+        let learned = Constellation::qam_gray(16).rotated(0.3);
+        let b =
+            server.register_backend(learned.clone(), Arc::new(MaxLogMap::new(learned, 0.2)) as _);
+        let id2 = server.open_session(clean_session(a, 2));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = server.switch_backend(id2, b);
+        }));
+        assert!(r.is_err(), "constellation mismatch must panic");
+    }
+
+    #[test]
+    fn registry_backends_register_in_handle_order() {
+        use crate::config::SystemConfig;
+        use crate::pipeline::HybridPipeline;
+        use crate::registry::switch_registry;
+        let mut pipe = HybridPipeline::new(SystemConfig::fast_test());
+        let _ = pipe.extract_centroids();
+        let registry = switch_registry(&pipe, &[]);
+        let mut server = LinkServer::new(ServerCfg::default());
+        let ids = server.register_registry(&registry, 12.0);
+        assert_eq!(ids.len(), registry.len());
+        // A session on any of them can switch to any other: the whole
+        // switch line-up shares the learned constellation.
+        let id = server.open_session(clean_session(ids[0], 7));
+        for &b in &ids[1..] {
+            server.switch_backend(id, b).unwrap();
+        }
+        server.submit(id, 1).unwrap();
+        assert_eq!(server.serve(), 1);
+        server.aggregate().validate().unwrap();
     }
 
     #[test]

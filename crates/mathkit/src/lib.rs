@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod complex;
+pub mod env;
 pub mod json;
 pub mod linsolve;
 pub mod matrix;

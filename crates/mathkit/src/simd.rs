@@ -53,10 +53,16 @@ impl LaneWidth {
         static DETECTED: OnceLock<LaneWidth> = OnceLock::new();
         *DETECTED.get_or_init(|| {
             let hw = probe_hardware();
-            match std::env::var("HYBRIDEM_LANES").ok().as_deref() {
-                Some("4") => LaneWidth::X4,
-                Some("8") => hw.min(LaneWidth::X8),
-                Some("16") => hw,
+            // Strict shared parsing (crate::env): "+8" or " 4 " fall
+            // back to the hardware probe instead of being honoured.
+            let cap = std::env::var("HYBRIDEM_LANES")
+                .ok()
+                .as_deref()
+                .and_then(crate::env::parse_count);
+            match cap {
+                Some(4) => LaneWidth::X4,
+                Some(8) => hw.min(LaneWidth::X8),
+                Some(16) => hw,
                 _ => hw,
             }
         })

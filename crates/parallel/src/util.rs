@@ -11,16 +11,17 @@ use std::num::NonZeroUsize;
 /// Environment variable capping the worker count workspace-wide.
 pub const THREADS_ENV: &str = "HYBRIDEM_THREADS";
 
-/// Parses a thread-count override value: `Some(n)` when the trimmed
-/// string parses to `n ≥ 1`, otherwise `None` — an unset variable, an
-/// empty string, `0`, or garbage all fall back to the host default.
-/// This is the single parsing rule behind [`num_threads`]; bench
-/// binaries that sweep explicit worker counts use it directly so
-/// their fallback behaviour matches the library's.
+/// Parses a thread-count override value with the workspace's strict
+/// shared rule ([`hybridem_mathkit::env::parse_count`]): `Some(n)`
+/// only for a plain all-digit string ≥ 1. An unset variable, an empty
+/// string, `0`, whitespace, a signed form like `"+8"`, or garbage all
+/// fall back to the host default — the same strings are rejected by
+/// `HYBRIDEM_LANES` and the bench budget vars, so one value means one
+/// thing workspace-wide. This is the single parsing rule behind
+/// [`num_threads`]; bench binaries that sweep explicit worker counts
+/// use it directly so their fallback behaviour matches the library's.
 pub fn thread_override(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    hybridem_mathkit::env::parse_count_opt(value)
 }
 
 /// Number of worker threads to use: the available parallelism, capped
@@ -72,7 +73,7 @@ mod tests {
     fn override_accepts_valid_counts() {
         assert_eq!(thread_override(Some("1")), Some(1));
         assert_eq!(thread_override(Some("8")), Some(8));
-        assert_eq!(thread_override(Some(" 4 ")), Some(4), "whitespace-tolerant");
+        assert_eq!(thread_override(Some("32")), Some(32));
     }
 
     #[test]
@@ -83,6 +84,18 @@ mod tests {
         assert_eq!(thread_override(Some("many")), None, "non-numeric");
         assert_eq!(thread_override(Some("-2")), None, "negative");
         assert_eq!(thread_override(Some("3.5")), None, "fractional");
+    }
+
+    #[test]
+    fn override_rejects_signed_and_padded_forms() {
+        // The strict shared parser (mathkit::env) rejects everything
+        // `str::parse` would have quietly accepted.
+        assert_eq!(thread_override(Some("+8")), None, "leading plus");
+        assert_eq!(thread_override(Some(" 4 ")), None, "whitespace-padded");
+        assert_eq!(thread_override(Some("4 ")), None, "trailing space");
+        assert_eq!(thread_override(Some("\t2")), None, "tab-padded");
+        assert_eq!(thread_override(Some("00")), None, "zero in disguise");
+        assert_eq!(thread_override(Some("007")), Some(7), "digits only: ok");
     }
 
     #[test]

@@ -62,10 +62,21 @@ fn serve_fleet(cfg: ServerCfg, links: u64) -> String {
         server.submit(id, 1 + (i % 4) as u32).unwrap();
     }
     server.serve();
-    // Interleave closes with a second wave so retired counters and
-    // slab reuse are part of the pinned artefact too.
+    // Queue one more frame on every session about to close: closing
+    // with work still queued exercises the dropped-frame accounting
+    // inside the pinned artefact.
     for &id in ids.iter().step_by(7) {
-        server.close_session(id).unwrap();
+        server.submit(id, 1).unwrap();
+    }
+    for &id in ids.iter().step_by(7) {
+        let stats = server.close_session(id).unwrap();
+        assert_eq!(stats.dropped_frames, 1, "queued frame dropped at close");
+    }
+    // Mid-stream backend migration ahead of the second wave: survivors
+    // swap batch groups, so the byte-identity claim covers sessions
+    // that changed demapper mid-stream.
+    for (i, &id) in ids.iter().enumerate().skip(1).step_by(7) {
+        server.switch_backend(id, backends[(i + 1) % 2]).unwrap();
     }
     for &id in ids.iter().skip(1).step_by(7) {
         server.submit(id, 2).unwrap();
@@ -73,6 +84,11 @@ fn serve_fleet(cfg: ServerCfg, links: u64) -> String {
     server.serve();
     let report = server.aggregate();
     report.validate().unwrap();
+    assert_eq!(
+        report.submitted_frames,
+        report.frames + report.shed_frames + report.dropped_frames + report.pending_frames,
+        "frame conservation"
+    );
     report.to_json().to_string_pretty()
 }
 
@@ -135,6 +151,14 @@ fn thousand_link_fleet_drains_with_bounded_queues() {
     agg.validate().unwrap();
     assert_eq!(agg.frames, 1024 * 2);
     assert_eq!(agg.shed_frames, 1024);
+    assert_eq!(agg.submitted_frames, 1024 * 3);
+    assert_eq!(agg.dropped_frames, 0);
+    assert_eq!(agg.pending_frames, 0);
+    assert_eq!(
+        agg.submitted_frames,
+        agg.frames + agg.shed_frames + agg.dropped_frames + agg.pending_frames,
+        "frame conservation"
+    );
     assert_eq!(agg.sessions_open, 1024);
     // Noiseless max-log sessions demap perfectly; the untrained graph
     // backend is expected to be wrong, but errors never exceed bits.
