@@ -19,6 +19,7 @@
 //! | `ablation_trigger` | (ext.) retrain-trigger detection latency |
 //! | `perf` | (infra) perf-regression gate over the SIMD kernels, trajectories in `BENCH_*.json` |
 //! | `linkserver` | (infra) many-link serving saturation curves (workers × batch), trajectory in `BENCH_linkserver.json` |
+//! | `equalizer` | (ext.) blind re-convergence on two-ray ISI + adaptive-FIR kernel trajectory in `BENCH_equalizer.json` |
 
 #![warn(missing_docs)]
 

@@ -341,7 +341,7 @@ mod tests {
     fn committed_trajectories_validate() {
         // The in-repo BENCH_*.json files must always satisfy their own
         // schema — this is what lets the perf gate trust them.
-        for bench in ["mvau", "demap", "linkserver"] {
+        for bench in ["mvau", "demap", "linkserver", "equalizer"] {
             let p = trajectory_path(bench);
             if let Ok(text) = std::fs::read_to_string(&p) {
                 let doc = Json::parse(&text).expect("committed trajectory parses");

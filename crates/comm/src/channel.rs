@@ -240,6 +240,130 @@ impl Channel for RayleighBlockFading {
     }
 }
 
+/// Frequency-selective (ISI) channel: a complex FIR tapped delay line
+/// `y[n] = Σ_k h_k · x[n−k]` with per-symbol memory that persists
+/// across blocks, frames and [`Channel::box_clone`] — the multipath
+/// scenario family of the group's equalizer follow-on work
+/// (arXiv 2304.06987, 2402.15288).
+///
+/// Presets are **unit-power normalised** (`Σ|h_k|² = 1`) so the
+/// average symbol energy — and with it every Es/N0 ↔ σ conversion —
+/// is preserved through the channel. Both presets keep the main tap
+/// dominant (minimum phase), so a causal zero-delay FIR equalizer can
+/// invert them (see `equalizer`).
+#[derive(Clone, Debug)]
+pub struct TappedDelayLine {
+    taps: Vec<C32>,
+    // Circular delay line of past inputs; `pos` points at the slot the
+    // *next* input overwrites. line[pos−1−k mod L] = x[n−1−k].
+    line: Vec<C32>,
+    pos: usize,
+}
+
+impl TappedDelayLine {
+    /// FIR channel with the given impulse response (`taps[0]` is the
+    /// main tap). Taps are used as given — call
+    /// [`TappedDelayLine::normalized`] or use a preset for unit power.
+    ///
+    /// # Panics
+    /// Panics when `taps` is empty or carries a non-finite coefficient.
+    pub fn new(taps: Vec<C32>) -> Self {
+        assert!(!taps.is_empty(), "a delay line needs at least one tap");
+        assert!(
+            taps.iter().all(|t| t.is_finite()),
+            "delay-line taps must be finite"
+        );
+        let line = vec![C32::zero(); taps.len()];
+        Self { taps, line, pos: 0 }
+    }
+
+    /// `new(taps)` scaled to unit power (`Σ|h_k|² = 1`).
+    ///
+    /// # Panics
+    /// Panics on empty, non-finite or all-zero taps.
+    pub fn normalized(taps: Vec<C32>) -> Self {
+        let power: f32 = taps.iter().map(|t| t.norm_sqr()).sum();
+        assert!(power > 0.0, "cannot normalise all-zero taps");
+        let scale = power.sqrt().recip();
+        Self::new(taps.into_iter().map(|t| t.scale(scale)).collect())
+    }
+
+    /// Two-ray multipath preset: a unit main tap plus one echo of
+    /// amplitude `echo_gain` rotated by `echo_phase` radians, `delay`
+    /// symbols later — the canonical frequency-selective onset of the
+    /// drift suite. Unit-power normalised.
+    ///
+    /// # Panics
+    /// Panics unless `0 < |echo_gain| < 1` (the main ray must dominate
+    /// — minimum phase) and `delay ≥ 1`.
+    pub fn two_ray(echo_gain: f32, echo_phase: f32, delay: usize) -> Self {
+        assert!(
+            echo_gain.abs() > 0.0 && echo_gain.abs() < 1.0,
+            "two-ray echo must satisfy 0 < |gain| < 1"
+        );
+        assert!(delay >= 1, "the echo needs at least one symbol of delay");
+        let mut taps = vec![C32::zero(); delay + 1];
+        taps[0] = C32::one();
+        taps[delay] = C32::from_angle(echo_phase).scale(echo_gain);
+        Self::normalized(taps)
+    }
+
+    /// Exponential-decay power-delay profile: `num_taps` real taps with
+    /// `|h_k|² ∝ e^{−k/decay}`, unit-power normalised — the dense-ISI
+    /// counterpart of the two-ray preset.
+    ///
+    /// # Panics
+    /// Panics unless `num_taps ≥ 1` and `decay > 0`.
+    pub fn exponential(num_taps: usize, decay: f32) -> Self {
+        assert!(num_taps >= 1, "profile needs at least one tap");
+        assert!(decay > 0.0, "decay constant must be positive");
+        let taps = (0..num_taps)
+            .map(|k| C32::new((-(k as f32) / (2.0 * decay)).exp(), 0.0))
+            .collect();
+        Self::normalized(taps)
+    }
+
+    /// The impulse response (`taps()[0]` is the main tap).
+    pub fn taps(&self) -> &[C32] {
+        &self.taps
+    }
+}
+
+impl Channel for TappedDelayLine {
+    fn transmit(&mut self, block: &mut [C32], _rng: &mut Xoshiro256pp) {
+        let len = self.taps.len();
+        if len == 1 {
+            let h0 = self.taps[0];
+            for y in block {
+                *y = h0 * *y;
+            }
+            return;
+        }
+        for y in block {
+            let x = *y;
+            let mut acc = self.taps[0] * x;
+            // taps[k] (k ≥ 1) multiplies x[n−k], stored k−1 steps
+            // behind the write cursor.
+            for (k, &h) in self.taps.iter().enumerate().skip(1) {
+                let idx = (self.pos + len - k) % len;
+                acc += h * self.line[idx];
+            }
+            self.line[self.pos] = x;
+            self.pos = (self.pos + 1) % len;
+            *y = acc;
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.line.fill(C32::zero());
+        self.pos = 0;
+    }
+}
+
 /// Sequential composition of channels.
 pub struct ChannelChain {
     stages: Vec<Box<dyn Channel>>,
@@ -410,5 +534,69 @@ mod tests {
         let mut b = b;
         b.transmit(&mut block2, &mut rng());
         assert!(block2[0].arg().abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_line_impulse_response_matches_taps() {
+        let taps = vec![C32::new(0.8, 0.0), C32::new(0.0, 0.5), C32::new(-0.3, 0.1)];
+        let mut ch = TappedDelayLine::new(taps.clone());
+        let mut block = vec![C32::zero(); 6];
+        block[0] = C32::one();
+        ch.transmit(&mut block, &mut rng());
+        for (k, &h) in taps.iter().enumerate() {
+            assert!(block[k].dist_sqr(h) < 1e-12, "tap {k}");
+        }
+        assert!(block[3].norm_sqr() < 1e-12);
+    }
+
+    #[test]
+    fn delay_line_memory_spans_blocks() {
+        // Feeding an impulse split across two transmit() calls must give
+        // the same output as one call: the delay line carries state.
+        let mut a = TappedDelayLine::two_ray(0.5, 0.3, 2);
+        let mut b = a.clone();
+        let mut whole = vec![C32::one(), C32::zero(), C32::zero(), C32::zero()];
+        a.transmit(&mut whole, &mut rng());
+        let mut first = vec![C32::one(), C32::zero()];
+        let mut second = vec![C32::zero(), C32::zero()];
+        b.transmit(&mut first, &mut rng());
+        b.transmit(&mut second, &mut rng());
+        let split: Vec<C32> = first.into_iter().chain(second).collect();
+        for (i, (w, s)) in whole.iter().zip(&split).enumerate() {
+            assert_eq!(w, s, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn delay_line_clone_preserves_and_reset_clears_state() {
+        let mut ch = TappedDelayLine::two_ray(0.4, 0.0, 1);
+        let mut primed = vec![C32::one()];
+        ch.transmit(&mut primed, &mut rng());
+        // Clone mid-stream: both must emit the echo of the primed symbol.
+        let mut cl = ch.box_clone();
+        let mut next = vec![C32::zero()];
+        cl.transmit(&mut next, &mut rng());
+        assert!(next[0].norm_sqr() > 0.1, "clone lost delay-line state");
+        // Reset forgets the primed symbol entirely.
+        ch.reset();
+        let mut after = vec![C32::zero()];
+        ch.transmit(&mut after, &mut rng());
+        assert!(after[0].norm_sqr() < 1e-12, "reset left residual state");
+    }
+
+    #[test]
+    fn delay_line_presets_are_unit_power() {
+        for ch in [
+            TappedDelayLine::two_ray(0.4, 1.0, 3),
+            TappedDelayLine::exponential(6, 2.0),
+        ] {
+            let p: f32 = ch.taps().iter().map(|t| t.norm_sqr()).sum();
+            assert!((p - 1.0).abs() < 1e-5, "tap power {p}");
+            // Main tap dominates every echo (minimum phase, causally invertible).
+            let main = ch.taps()[0].norm_sqr();
+            for t in &ch.taps()[1..] {
+                assert!(main > t.norm_sqr());
+            }
+        }
     }
 }

@@ -15,6 +15,10 @@
 //!   demapper of Robertson et al. 1995 that the paper runs on
 //!   extracted centroids, plus hard decision;
 //! - [`metrics`] — BER/SER counting, bitwise mutual information, EVM;
+//! - [`equalizer`] — linear FIR equalization for ISI channels: CMA
+//!   acquisition, decision-directed LMS tracking, supervised LS/pilot
+//!   bootstrap, and the [`equalizer::EqualizedDemapper`] wrapper that
+//!   runs one ahead of any demapper (DESIGN.md §14);
 //! - [`ecc`] — outer codes used for retrain triggering: Hamming(7,4)
 //!   and a rate-1/2 convolutional code with hard/soft Viterbi;
 //! - [`theory`] — closed-form AWGN baselines used to validate the
@@ -44,6 +48,7 @@ pub mod channel;
 pub mod constellation;
 pub mod demapper;
 pub mod ecc;
+pub mod equalizer;
 pub mod frame;
 pub mod linksim;
 pub mod metrics;
@@ -58,5 +63,6 @@ pub use campaign::{
 pub use channel::{Awgn, Channel, ChannelChain, PhaseOffset};
 pub use constellation::Constellation;
 pub use demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
+pub use equalizer::{AdaptiveEqualizer, EqualizedDemapper, EqualizerConfig, EqualizerMode};
 pub use linksim::{simulate_link, LinkResult, LinkSim, LinkSpec};
-pub use trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+pub use trajectory::{ChannelState, Taps, Trajectory, TrajectoryChannel};

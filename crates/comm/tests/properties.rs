@@ -6,6 +6,7 @@ use hybridem_comm::channel::{Awgn, Cfo, Channel, ChannelChain, IqImbalance, Phas
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::{Demapper, ExactLogMap, HardNearest, MaxLogMap};
 use hybridem_comm::ecc::{ConvCode, Hamming74, Viterbi};
+use hybridem_comm::trajectory::{ChannelState, Taps, Trajectory};
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::Xoshiro256pp;
 use hybridem_mathkit::simd::LaneWidth;
@@ -256,6 +257,72 @@ proptest! {
         let out = vit.decode_hard(&code, &tx);
         prop_assert_eq!(out.bits, bits);
         prop_assert_eq!(out.corrected, 0);
+    }
+
+    #[test]
+    fn trajectory_states_never_go_non_finite(
+        script in proptest::collection::vec(
+            (
+                (
+                    any::<bool>(),   // ramp (true) or hold (false)
+                    1u64..12,        // segment frames
+                    prop_oneof![     // Es/N0: finite or noiseless
+                        Just(f64::INFINITY),
+                        -10.0f64..40.0,
+                    ],
+                ),
+                (
+                    -3.2f32..3.2,    // phase
+                    -0.01f32..0.01,  // CFO rate
+                    0u8..3,          // taps preset selector
+                ),
+            ),
+            1..8,
+        ),
+    ) {
+        // Regression territory for the lerp NaN bug: a ramp between a
+        // noiseless (INFINITY) endpoint and a finite one once computed
+        // INF − INF inside the interpolation. The contract is that a
+        // ramp with any non-finite endpoint degenerates to holding its
+        // start, so *no* script — however it mixes INFINITY holds,
+        // INFINITY→finite ramps and finite→INFINITY ramps — may ever
+        // produce a NaN field. `es_n0_db` must stay finite-or-+INF;
+        // every other field must stay strictly finite.
+        let mut traj = Trajectory::new("prop");
+        for &((ramp, frames, snr), (phase, cfo, tap_sel)) in &script {
+            let taps = match tap_sel {
+                0 => Taps::none(),
+                1 => Taps::two_ray(0.4, 0.35, 1),
+                _ => Taps::exponential(4, 1.0),
+            };
+            let state = ChannelState::clean(snr)
+                .with_phase(phase)
+                .with_cfo(cfo)
+                .with_taps(taps);
+            // A ramp needs a segment to start from: the first segment
+            // of any script is always a hold.
+            traj = if ramp && !traj.segments.is_empty() {
+                traj.ramp(frames, state)
+            } else {
+                traj.hold(frames, state)
+            };
+        }
+        for frame in 0..traj.total_frames() {
+            let s = traj.state_at(frame);
+            prop_assert!(
+                s.es_n0_db.is_finite() || s.es_n0_db == f64::INFINITY,
+                "frame {}: es_n0_db {}", frame, s.es_n0_db
+            );
+            prop_assert!(s.phase_rad.is_finite(), "frame {}: phase", frame);
+            prop_assert!(s.cfo_rad_per_sym.is_finite(), "frame {}: cfo", frame);
+            prop_assert!(s.iq_epsilon.is_finite() && s.iq_phi.is_finite(),
+                         "frame {}: iq", frame);
+            prop_assert!(s.interference_sigma.is_finite(), "frame {}: interference", frame);
+            prop_assert!(
+                s.taps.as_slice().iter().all(|c| c.is_finite()),
+                "frame {}: taps {:?}", frame, s.taps
+            );
+        }
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! through either channel (per-symbol and block demap paths share the
 //! engine — DESIGN.md §7).
 
-use hybridem_comm::channel::{Awgn, Cfo, Channel, ChannelChain, IqImbalance, PhaseOffset};
+use hybridem_comm::channel::{
+    Awgn, Cfo, Channel, ChannelChain, IqImbalance, PhaseOffset, TappedDelayLine,
+};
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::MaxLogMap;
 use hybridem_comm::linksim::{simulate_link, LinkSpec};
 use hybridem_comm::snr::noise_sigma;
-use hybridem_comm::trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+use hybridem_comm::trajectory::{ChannelState, Taps, Trajectory, TrajectoryChannel};
 use hybridem_mathkit::complex::C32;
 use hybridem_mathkit::rng::Xoshiro256pp;
 
@@ -94,6 +96,35 @@ fn cases() -> Vec<(&'static str, ChannelState, Box<dyn Channel>)> {
             "phase-noiseless",
             ChannelState::clean(f64::INFINITY).with_phase(0.3),
             Box::new(PhaseOffset::new(0.3)),
+        ),
+        // Constant taps reduce to the static delay line — including
+        // its memory across frame boundaries and the clone+reset the
+        // BER engine performs per task (DESIGN.md §14).
+        (
+            "tdl+awgn",
+            ChannelState::clean(es).with_taps(Taps::two_ray(0.4, 0.35, 1)),
+            Box::new(ChannelChain::new(vec![
+                Box::new(TappedDelayLine::two_ray(0.4, 0.35, 1)),
+                Box::new(Awgn::from_es_n0_db(es)),
+            ])),
+        ),
+        (
+            "tdl-noiseless",
+            ChannelState::clean(f64::INFINITY).with_taps(Taps::exponential(5, 1.5)),
+            Box::new(TappedDelayLine::exponential(5, 1.5)),
+        ),
+        // Phase applies transmitter-side, *before* the channel memory:
+        // the lowering order phase → tdl must match the manual chain.
+        (
+            "phase+tdl+awgn",
+            ChannelState::clean(es)
+                .with_phase(0.3)
+                .with_taps(Taps::two_ray(0.4, 0.35, 1)),
+            Box::new(ChannelChain::new(vec![
+                Box::new(PhaseOffset::new(0.3)),
+                Box::new(TappedDelayLine::two_ray(0.4, 0.35, 1)),
+                Box::new(Awgn::from_es_n0_db(es)),
+            ])),
         ),
     ]
 }

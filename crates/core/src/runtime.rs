@@ -31,8 +31,11 @@ use hybridem_comm::channel::Channel;
 use hybridem_comm::constellation::Constellation;
 use hybridem_comm::demapper::Demapper;
 use hybridem_comm::ecc::{ConvCode, Viterbi};
+use hybridem_comm::equalizer::{
+    AdaptiveEqualizer, EqualizedDemapper, EqualizerConfig, EqualizerMode,
+};
 use hybridem_comm::metrics::BitwiseMiEstimator;
-use hybridem_comm::trajectory::{ChannelState, Trajectory, TrajectoryChannel};
+use hybridem_comm::trajectory::{ChannelState, Taps, Trajectory, TrajectoryChannel};
 use hybridem_fpga::demapper_accel::SoftDemapperConfig;
 use hybridem_fpga::graph::QuantizedGraph;
 use hybridem_mathkit::complex::C32;
@@ -364,9 +367,12 @@ struct Switching {
 }
 
 impl Switching {
-    /// Windowed data-aided estimate: Es/N0 ≈ Σ|x|² / Σ|y−x|² over the
-    /// pooled pilot window, in dB, clamped to the policy range (an
-    /// error-free window saturates at the ceiling).
+    /// Windowed data-aided estimate: Es/N0 ≈ Σ|x|² / Σ|y·e^{−jθ} − x|²
+    /// over the pooled pilot window, in dB, clamped to the policy range
+    /// (an error-free window saturates at the ceiling). Each frame's
+    /// error energy is derotated by its one-tap LS phase estimate
+    /// before pooling (see the accumulation in [`OnlineLink::step`]),
+    /// so a static rotation or slow CFO is not mistaken for noise.
     fn estimate_es_n0_db(&self) -> f64 {
         let sig: f64 = self.win_sig[..self.filled].iter().sum();
         let err: f64 = self.win_err[..self.filled].iter().sum();
@@ -419,10 +425,22 @@ impl Switching {
     }
 }
 
+/// The self-equalizing receiver state: a per-link
+/// [`EqualizedDemapper`] plus the per-frame mode trace. Pilots, when
+/// the frame has any, feed the equalizer's supervised LMS update; the
+/// payload always adapts unsupervised (CMA → DD-LMS), so the receiver
+/// keeps re-converging on a drifting ISI channel with **zero** pilot
+/// overhead when `pilot_symbols == 0`.
+struct Equalized {
+    demapper: EqualizedDemapper,
+    mode_trace: Vec<EqualizerMode>,
+}
+
 enum Receiver {
     Fixed(Box<dyn Demapper>),
     Adaptive(Box<Adaptive>),
     Switching(Box<Switching>),
+    Equalized(Box<Equalized>),
 }
 
 /// One link streaming frames through a scripted time-varying channel.
@@ -444,6 +462,9 @@ pub struct OnlineLink {
     tx_bits: Vec<u8>,
     rx_bits: Vec<u8>,
     info: Vec<u8>,
+    // Pilot constellation points (the equalizer's supervised
+    // reference; `block` holds channel output by the time it trains).
+    pilot_pts: Vec<C32>,
 }
 
 impl OnlineLink {
@@ -460,6 +481,7 @@ impl OnlineLink {
             Receiver::Fixed(d) => d.bits_per_symbol(),
             Receiver::Adaptive(a) => a.hybrid.bits_per_symbol(),
             Receiver::Switching(s) => s.current.bits_per_symbol(),
+            Receiver::Equalized(e) => e.demapper.bits_per_symbol(),
         };
         assert_eq!(
             m, demapper_m,
@@ -496,6 +518,7 @@ impl OnlineLink {
             0
         };
         let n = p.frame_symbols;
+        let pilots = p.pilot_symbols;
         let rng = Xoshiro256pp::stream(spec.seed, 0);
         let channel = TrajectoryChannel::new(spec.trajectory.clone(), n);
         Self {
@@ -514,6 +537,7 @@ impl OnlineLink {
             tx_bits: vec![0; n * m],
             rx_bits: vec![0; n * m],
             info: vec![0; info_len],
+            pilot_pts: vec![C32::zero(); pilots],
         }
     }
 
@@ -618,6 +642,36 @@ impl OnlineLink {
         )
     }
 
+    /// The self-equalizing receiver: a linear FIR equalizer adapts
+    /// ahead of `inner` every frame — supervised LMS on the pilot
+    /// prefix when the frame has one, blind CMA → DD-LMS on the
+    /// payload — so the link re-converges on drifting ISI channels
+    /// without retraining and, at `pilot_symbols == 0`, without any
+    /// pilot overhead (the group's unsupervised-equalizer story,
+    /// arXiv 2304.06987). The equalizer instance is private to this
+    /// link, keeping artefacts byte-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics on constellation/demapper width mismatch, invalid frame
+    /// geometry, or a degenerate equalizer config.
+    pub fn equalized(
+        spec: OnlineLinkSpec,
+        constellation: Constellation,
+        inner: Box<dyn Demapper>,
+        eq_cfg: EqualizerConfig,
+    ) -> Self {
+        let eq = AdaptiveEqualizer::new(constellation.clone(), eq_cfg);
+        let equalized = Equalized {
+            demapper: EqualizedDemapper::new(Arc::from(inner), eq),
+            mode_trace: Vec::new(),
+        };
+        Self::build(
+            spec,
+            constellation,
+            Receiver::Equalized(Box::new(equalized)),
+        )
+    }
+
     /// The link spec.
     pub fn spec(&self) -> &OnlineLinkSpec {
         &self.spec
@@ -667,6 +721,16 @@ impl OnlineLink {
         }
     }
 
+    /// Per-frame equalizer mode — `trace[f]` is the adaptation mode
+    /// after frame `f` was equalized (empty for non-equalized
+    /// receivers). The CMA→DD transition marks acquisition.
+    pub fn equalizer_mode_trace(&self) -> &[EqualizerMode] {
+        match &self.receiver {
+            Receiver::Equalized(e) => &e.mode_trace,
+            _ => &[],
+        }
+    }
+
     /// The live integer deployment (adaptive receivers only).
     pub fn deployment(&self) -> Option<&QuantizedGraph> {
         match &self.receiver {
@@ -690,7 +754,7 @@ impl OnlineLink {
         // 0. A matured retrain (or a backend switch decided on the
         // previous frame's evidence) enters the datapath here.
         let swapped = match &mut self.receiver {
-            Receiver::Fixed(_) => false,
+            Receiver::Fixed(_) | Receiver::Equalized(_) => false,
             Receiver::Adaptive(a) => a.maybe_swap(frame),
             Receiver::Switching(s) => std::mem::take(&mut s.just_switched),
         };
@@ -719,13 +783,33 @@ impl OnlineLink {
         }
         self.channel.transmit(&mut self.block, &mut self.rng);
 
-        // 2. One block demap for the whole frame.
-        let demapper: &dyn Demapper = match &self.receiver {
-            Receiver::Fixed(d) => d.as_ref(),
-            Receiver::Adaptive(a) => &a.hybrid,
-            Receiver::Switching(s) => s.current.as_ref(),
-        };
-        demapper.demap_block(&self.block, &mut self.llrs);
+        // 2. One block demap for the whole frame. The equalized
+        // receiver first adapts its FIR stage in place — supervised
+        // LMS over the known pilot prefix, blind CMA/DD-LMS over the
+        // payload — then demaps the equalized samples.
+        if let Receiver::Equalized(e) = &mut self.receiver {
+            for (pt, &u) in self.pilot_pts.iter_mut().zip(&self.tx_syms) {
+                *pt = self.constellation.point(u);
+            }
+            let (block, pilot_pts) = (&mut self.block, &self.pilot_pts);
+            let mode = e.demapper.with_equalizer(|eq| {
+                if p > 0 {
+                    eq.train(&mut block[..p], pilot_pts);
+                }
+                eq.equalize(&mut block[p..]);
+                eq.mode()
+            });
+            e.mode_trace.push(mode);
+            e.demapper.inner().demap_block(&self.block, &mut self.llrs);
+        } else {
+            let demapper: &dyn Demapper = match &self.receiver {
+                Receiver::Fixed(d) => d.as_ref(),
+                Receiver::Adaptive(a) => &a.hybrid,
+                Receiver::Switching(s) => s.current.as_ref(),
+                Receiver::Equalized(_) => unreachable!(),
+            };
+            demapper.demap_block(&self.block, &mut self.llrs);
+        }
         for (b, &l) in self.rx_bits.iter_mut().zip(self.llrs.iter()) {
             *b = u8::from(l < 0.0);
         }
@@ -751,15 +835,26 @@ impl OnlineLink {
             // The trace records who demapped *this* frame before the
             // decision runs — a switch takes effect next frame.
             s.trace.push(s.active.index() as u32);
+            // Pilot energies for the SNR estimate, derotated by the
+            // one-tap LS phase θ* = arg Σ y·x̄ (the phase minimising
+            // Σ|y·e^{−jθ} − x|²): raw Σ|y − x|² counts any uncompensated
+            // rotation/CFO as noise and drives spurious downshifts on
+            // phase-impaired links. With θ* the error has the closed
+            // form Σ|y|² + Σ|x|² − 2·|Σ y·x̄|.
             let mut sig = 0.0f64;
-            let mut err = 0.0f64;
+            let mut ysq = 0.0f64;
+            let (mut cr, mut ci) = (0.0f64, 0.0f64);
             for i in 0..p {
                 let x = self.constellation.point(self.tx_syms[i]);
                 let y = self.block[i];
                 sig += f64::from(x.re) * f64::from(x.re) + f64::from(x.im) * f64::from(x.im);
-                let (dr, di) = (f64::from(y.re - x.re), f64::from(y.im - x.im));
-                err += dr * dr + di * di;
+                ysq += f64::from(y.re) * f64::from(y.re) + f64::from(y.im) * f64::from(y.im);
+                cr += f64::from(y.re) * f64::from(x.re) + f64::from(y.im) * f64::from(x.im);
+                ci += f64::from(y.im) * f64::from(x.re) - f64::from(y.re) * f64::from(x.im);
             }
+            // Rounding can push a noiseless frame epsilon-negative; an
+            // err ≤ 0 frame saturates the estimate at the ceiling.
+            let err = (ysq + sig - 2.0 * cr.hypot(ci)).max(0.0);
             triggered = s.observe_pilots(frame, sig, err);
         }
         if let Receiver::Adaptive(a) = &mut self.receiver {
@@ -828,6 +923,10 @@ pub enum FamilyRole {
     Frozen,
     /// The full adapt/retrain loop — carries `adaptive_recovers`.
     Adaptive,
+    /// Self-equalizing receiver ([`OnlineLink::equalized`]) — carries
+    /// `adaptive_recovers` like [`FamilyRole::Adaptive`], but converges
+    /// in the datapath: no retrain events are ever expected of it.
+    Equalized,
 }
 
 /// One receiver family of a drift campaign. `build` constructs a fresh
@@ -867,7 +966,8 @@ pub struct DriftScenario {
 /// The scripted drift suite of the `drift_runtime` artefact, at a
 /// given nominal Es/N0 (dB): SNR ramp, the paper's π/4 phase step, a
 /// CFO drift pulse (leaving a persistent accumulated rotation), fading
-/// onset, and burst interference.
+/// onset, burst interference, and the frequency-selective pair —
+/// a persistent two-ray ISI onset and a clearing ISI pulse.
 pub fn drift_suite(es_n0_db: f64) -> Vec<DriftScenario> {
     let clean = ChannelState::clean(es_n0_db);
     let dip = ChannelState::clean(es_n0_db - 6.0);
@@ -924,6 +1024,33 @@ pub fn drift_suite(es_n0_db: f64) -> Vec<DriftScenario> {
                 .hold(140, clean),
             baseline_frames: 40,
             drift_end_frame: 60,
+            adaptive_recovers: Some(true),
+            frozen_recovers: Some(true),
+        },
+        DriftScenario {
+            // A two-ray echo appears and stays. ISI is channel
+            // *memory*: no memoryless demapper — retrained or not —
+            // can undo it, so no recovery claims attach here (like
+            // fading-onset). The equalized receiver's re-convergence
+            // claim on this exact onset lives in the equalizer bench.
+            trajectory: Trajectory::new("isi-onset")
+                .hold(40, clean)
+                .hold(120, clean.with_taps(Taps::two_ray(0.4, 0.35, 1))),
+            baseline_frames: 40,
+            drift_end_frame: 40,
+            adaptive_recovers: None,
+            frozen_recovers: None,
+        },
+        DriftScenario {
+            // The echo clears again: once the channel is memoryless
+            // all families are back on known ground, so both recovery
+            // claims apply.
+            trajectory: Trajectory::new("isi-pulse")
+                .hold(40, clean)
+                .hold(30, clean.with_taps(Taps::two_ray(0.4, 0.35, 1)))
+                .hold(130, clean),
+            baseline_frames: 40,
+            drift_end_frame: 70,
             adaptive_recovers: Some(true),
             frozen_recovers: Some(true),
         },
@@ -1407,7 +1534,7 @@ pub fn run_drift_campaign(spec: &DriftCampaignSpec<'_>) -> DriftRuntimeReport {
             let expect_recovery = match family.role {
                 FamilyRole::Baseline => None,
                 FamilyRole::Frozen => sc.frozen_recovers,
-                FamilyRole::Adaptive => sc.adaptive_recovers,
+                FamilyRole::Adaptive | FamilyRole::Equalized => sc.adaptive_recovers,
             };
             let expect_retrain = family.role == FamilyRole::Adaptive
                 && sc.adaptive_recovers == Some(true)
@@ -1418,6 +1545,7 @@ pub fn run_drift_campaign(spec: &DriftCampaignSpec<'_>) -> DriftRuntimeReport {
                     FamilyRole::Baseline => "baseline",
                     FamilyRole::Frozen => "frozen",
                     FamilyRole::Adaptive => "adaptive",
+                    FamilyRole::Equalized => "equalized",
                 }
                 .to_string(),
                 trajectory: sc.trajectory.name.clone(),
@@ -2141,6 +2269,132 @@ mod tests {
         assert!(link.log()[down.frame as usize].triggered);
         assert!(link.events().is_empty(), "no retrain events on switching");
         assert!(link.deployment().is_none());
+    }
+
+    fn log_window_ber(link: &OnlineLink, from: u64, to: u64) -> f64 {
+        let (mut bits, mut errs) = (0u64, 0u64);
+        for r in &link.log()[from as usize..to as usize] {
+            bits += r.payload_bits;
+            errs += r.payload_bit_errors;
+        }
+        errs as f64 / bits as f64
+    }
+
+    #[test]
+    fn equalized_link_reconverges_blind_where_fixed_stays_broken() {
+        // The isi-onset scenario attaches no recovery claims to the
+        // memoryless families; the equalized receiver is the one that
+        // earns them — with zero pilot symbols.
+        let es = 12.0;
+        let sc = drift_suite(es)
+            .into_iter()
+            .find(|s| s.trajectory.name == "isi-onset")
+            .expect("isi-onset in the suite");
+        let qam = Constellation::qam_gray(4);
+        let sigma = noise_sigma(es, 1.0) as f32;
+        let params = LinkParams {
+            pilot_symbols: 0, // fully blind
+            ..Default::default()
+        };
+        let spec = OnlineLinkSpec {
+            trajectory: sc.trajectory.clone(),
+            seed: 9,
+            params,
+        };
+        let mut eq = OnlineLink::equalized(
+            spec.clone(),
+            qam.clone(),
+            Box::new(MaxLogMap::new(qam.clone(), sigma)),
+            EqualizerConfig::default(),
+        );
+        eq.run();
+        let mut fixed = OnlineLink::fixed(spec, qam.clone(), Box::new(MaxLogMap::new(qam, sigma)));
+        fixed.run();
+        let frames = eq.frames();
+        let base = log_window_ber(&eq, 0, sc.baseline_frames);
+        let eq_post = log_window_ber(&eq, frames - RECOVERY_WINDOW, frames);
+        let fixed_post = log_window_ber(&fixed, frames - RECOVERY_WINDOW, frames);
+        assert!(
+            eq_post <= 2.0 * base + 2e-3,
+            "equalized link failed to re-converge: base {base:.2e}, post {eq_post:.2e}"
+        );
+        assert!(
+            fixed_post >= 4.0 * base + 2e-3,
+            "unequalized link unexpectedly fine: base {base:.2e}, post {fixed_post:.2e}"
+        );
+        // The blind loop acquired: CMA handed off to decision-directed
+        // tracking by the end of the stream.
+        let trace = eq.equalizer_mode_trace();
+        assert_eq!(trace.len() as u64, frames);
+        assert_eq!(*trace.last().unwrap(), EqualizerMode::DecisionDirected);
+        assert!(eq.events().is_empty() && eq.switch_events().is_empty());
+    }
+
+    #[test]
+    fn equalized_link_is_a_pure_function_of_spec_and_seed() {
+        let qam = Constellation::qam_gray(4);
+        let traj = Trajectory::constant(
+            "isi",
+            ChannelState::clean(12.0).with_taps(Taps::two_ray(0.4, 0.35, 1)),
+            25,
+        );
+        let run = || {
+            let params = LinkParams {
+                pilot_symbols: 32, // exercise the supervised path too
+                ..Default::default()
+            };
+            let spec = OnlineLinkSpec {
+                trajectory: traj.clone(),
+                seed: 4,
+                params,
+            };
+            let mut link = OnlineLink::equalized(
+                spec,
+                qam.clone(),
+                Box::new(MaxLogMap::new(qam.clone(), noise_sigma(12.0, 1.0) as f32)),
+                EqualizerConfig::default(),
+            );
+            link.run();
+            link.log()
+                .iter()
+                .map(|r| (r.payload_bit_errors, r.pilot_bit_errors))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn phase_offset_does_not_masquerade_as_noise_in_snr_estimate() {
+        // Regression: the estimator once accumulated raw Σ|y−x|², so a
+        // noiseless π/4-rotated link measured |e^{jπ/4}−1|²·Es of fake
+        // "noise" (≈ 2.3 dB Es/N0) and pinned itself to the accurate
+        // backend. With the one-tap LS derotation the same link is
+        // error-free: the estimate saturates at the policy ceiling and
+        // the selection downshifts to the cheap backend.
+        let reg = fake_registry();
+        let precise = reg.find("precise").unwrap();
+        let cheap = reg.find("cheap").unwrap();
+        let traj = Trajectory::constant(
+            "pure-phase",
+            ChannelState::clean(f64::INFINITY).with_phase(std::f32::consts::FRAC_PI_4),
+            30,
+        );
+        let policy = switch_policy();
+        let ceiling = policy.es_ceil_db;
+        let mut link = OnlineLink::switching(OnlineLinkSpec::new(traj, 33), reg, policy);
+        assert_eq!(link.active_backend(), Some(precise));
+        link.run();
+        let down = link
+            .switch_events()
+            .iter()
+            .find(|e| e.downshift)
+            .expect("noiseless rotated link must earn the cheap backend");
+        assert_eq!((down.from, down.to), (precise, cheap));
+        assert_eq!(
+            down.est_es_n0_db, ceiling,
+            "noiseless link must estimate at the policy ceiling, not a \
+             rotation-inflated floor"
+        );
     }
 
     #[test]

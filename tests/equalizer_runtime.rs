@@ -1,0 +1,115 @@
+//! Thread-count determinism of the equalizer-runtime artefact
+//! (DESIGN.md §14): the `equalizer` bench scenario — an unequalized
+//! max-log link and a blind equalized link riding a two-ray ISI onset
+//! — serialises to identical bytes at any `HYBRIDEM_THREADS`. The
+//! adaptive FIR is the first receiver whose *datapath* carries
+//! feedback state, so this pins the per-link-instance contract: each
+//! link owns a private equalizer and adaptation is a pure fold over
+//! its sample stream.
+//!
+//! This test mutates `HYBRIDEM_THREADS` between runs, so it lives
+//! alone in its own test binary: `std::env::set_var` while other
+//! tests' worker threads call `getenv` is a data race on glibc. With a
+//! single `#[test]` in the process there are no concurrent readers
+//! outside the serial points where the variable changes.
+
+use hybridem::comm::constellation::Constellation;
+use hybridem::comm::demapper::MaxLogMap;
+use hybridem::comm::equalizer::EqualizerConfig;
+use hybridem::comm::snr::noise_sigma;
+use hybridem::comm::trajectory::{ChannelState, Taps, Trajectory};
+use hybridem::core::runtime::{
+    run_drift_campaign, DriftCampaignSpec, DriftFamily, DriftScenario, FamilyRole, LinkParams,
+    OnlineLink, OnlineLinkSpec,
+};
+use hybridem::mathkit::json::ToJson;
+
+fn spec() -> DriftCampaignSpec<'static> {
+    let es = 12.0;
+    let qam = Constellation::qam_gray(4);
+    let sigma = noise_sigma(es, 1.0) as f32;
+    let clean = ChannelState::clean(es);
+    let isi = clean.with_taps(Taps::two_ray(0.4, 0.35, 1));
+    let scenario = DriftScenario {
+        trajectory: Trajectory::new("two-ray-onset")
+            .hold(20, clean)
+            .hold(80, isi),
+        baseline_frames: 20,
+        drift_end_frame: 20,
+        adaptive_recovers: Some(true),
+        frozen_recovers: Some(false),
+    };
+    let params = LinkParams {
+        pilot_symbols: 0,
+        ..Default::default()
+    };
+    let link_spec = {
+        let params = params.clone();
+        move |traj: &Trajectory, seed: u64| OnlineLinkSpec {
+            trajectory: traj.clone(),
+            seed,
+            params: params.clone(),
+        }
+    };
+    let fixed_spec = link_spec.clone();
+    let fixed_qam = qam.clone();
+    let eq_qam = qam;
+    DriftCampaignSpec {
+        name: "equalizer-threads".to_string(),
+        families: vec![
+            DriftFamily {
+                name: "unequalized".to_string(),
+                role: FamilyRole::Frozen,
+                build: Box::new(move |traj, seed| {
+                    OnlineLink::fixed(
+                        fixed_spec(traj, seed),
+                        fixed_qam.clone(),
+                        Box::new(MaxLogMap::new(fixed_qam.clone(), sigma)),
+                    )
+                }),
+            },
+            DriftFamily {
+                name: "equalized".to_string(),
+                role: FamilyRole::Equalized,
+                build: Box::new(move |traj, seed| {
+                    OnlineLink::equalized(
+                        link_spec(traj, seed),
+                        eq_qam.clone(),
+                        Box::new(MaxLogMap::new(eq_qam.clone(), sigma)),
+                        EqualizerConfig::default(),
+                    )
+                }),
+            },
+        ],
+        scenarios: vec![scenario],
+        links: 3,
+        params,
+        seed: 77,
+    }
+}
+
+#[test]
+fn equalizer_artefact_bytes_identical_across_thread_counts() {
+    // Per-link RNG streams, a private equalizer per link, and
+    // link-order row pooling make the report a pure function of
+    // (spec, seed): 1 worker thread and 8 worker threads must
+    // serialise to the same bytes (HYBRIDEM_THREADS is read per
+    // parallel region, so setting it between runs is effective).
+    let previous = std::env::var("HYBRIDEM_THREADS").ok();
+    let s = spec();
+    let baseline = run_drift_campaign(&s);
+    baseline.validate().unwrap();
+    let baseline = baseline.to_json().to_string_pretty();
+    for threads in ["1", "8"] {
+        std::env::set_var("HYBRIDEM_THREADS", threads);
+        let run = run_drift_campaign(&s).to_json().to_string_pretty();
+        assert_eq!(
+            run, baseline,
+            "equalizer artefact changed with HYBRIDEM_THREADS={threads}"
+        );
+    }
+    match previous {
+        Some(v) => std::env::set_var("HYBRIDEM_THREADS", v),
+        None => std::env::remove_var("HYBRIDEM_THREADS"),
+    }
+}
